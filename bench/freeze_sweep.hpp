@@ -1,0 +1,96 @@
+// Shared harness for the Fig. 5b / 5c sweeps: live-migrate a zone-server-like
+// process holding N active client TCP connections (plus one MySQL session) and
+// record worst-case freeze time and freeze-phase socket bytes per strategy.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/dve/population.hpp"
+#include "src/dve/testbed.hpp"
+#include "src/dve/zone_server.hpp"
+
+namespace dvemig::bench {
+
+struct SweepPoint {
+  std::size_t connections{0};
+  mig::SocketMigStrategy strategy{};
+  double worst_freeze_ms{0};
+  std::uint64_t worst_freeze_socket_bytes{0};
+  std::uint64_t captured{0};
+};
+
+inline const std::vector<std::size_t>& sweep_connection_counts() {
+  static const std::vector<std::size_t> counts{16, 32, 64, 128, 256, 512, 1024};
+  return counts;
+}
+
+/// One migration run: returns the stats. Fresh testbed per run, `rep` varies the
+/// traffic phase so "worst case over repetitions" is meaningful.
+inline mig::MigrationStats run_freeze_case(std::size_t connections,
+                                           mig::SocketMigStrategy strategy,
+                                           int rep) {
+  dve::TestbedConfig cfg;
+  cfg.dve_nodes = 2;
+  dve::Testbed bed(cfg);
+
+  dve::ZoneServerConfig zs;
+  zs.zone = 1;
+  zs.active_updates = true;
+  zs.db_addr = bed.db_node()->local_addr();
+  zs.per_client_cores = 0.0002;  // keep the node itself unsaturated at N=1024
+  auto proc = dve::ZoneServerApp::launch(bed.node(0).node, zs);
+
+  std::vector<std::unique_ptr<dve::TcpDveClient>> clients;
+  clients.reserve(connections);
+  for (std::size_t i = 0; i < connections; ++i) {
+    auto c = std::make_unique<dve::TcpDveClient>(bed.make_client_host(),
+                                                 bed.public_ip());
+    c->set_active(SimTime::milliseconds(50), 48);
+    clients.push_back(std::move(c));
+  }
+  // Ramped connects; phase shifted per repetition.
+  for (std::size_t i = 0; i < connections; ++i) {
+    const SimDuration when =
+        SimTime::microseconds(500 * static_cast<std::int64_t>(i) + 137 * rep);
+    bed.engine().schedule_after(when, [&clients, i, &zs] {
+      clients[i]->connect_to_zone(zs.zone);
+    });
+  }
+  bed.run_for(SimTime::seconds(2) + SimTime::milliseconds(17 * rep));
+
+  mig::MigrationStats stats;
+  bool done = false;
+  bed.node(0).migd.migrate(proc->pid(), bed.node(1).node.local_addr(), strategy,
+                           [&](const mig::MigrationStats& s) {
+                             stats = s;
+                             done = true;
+                           });
+  bed.run_for(SimTime::seconds(8));
+  if (!done || !stats.success) {
+    std::fprintf(stderr, "freeze sweep: migration failed (n=%zu, %s)\n",
+                 connections, mig::strategy_name(strategy));
+    std::abort();
+  }
+  return stats;
+}
+
+inline SweepPoint run_sweep_point(std::size_t connections,
+                                  mig::SocketMigStrategy strategy, int reps) {
+  SweepPoint point;
+  point.connections = connections;
+  point.strategy = strategy;
+  for (int rep = 0; rep < reps; ++rep) {
+    const mig::MigrationStats stats = run_freeze_case(connections, strategy, rep);
+    point.worst_freeze_ms =
+        std::max(point.worst_freeze_ms, stats.freeze_time().to_ms());
+    point.worst_freeze_socket_bytes =
+        std::max(point.worst_freeze_socket_bytes, stats.freeze_socket_bytes);
+    point.captured += stats.captured;
+  }
+  return point;
+}
+
+}  // namespace dvemig::bench

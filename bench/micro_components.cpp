@@ -1,0 +1,175 @@
+// Microbenchmarks (google-benchmark) for the building blocks whose costs the
+// cost model abstracts on the simulated timeline — these measure the *host*
+// implementation itself: serialization, hashing, checksums, dirty tracking,
+// socket extraction/delta checks, and raw event-engine throughput.
+#include <benchmark/benchmark.h>
+
+#include "src/ckpt/dirty_tracker.hpp"
+#include "src/ckpt/image.hpp"
+#include "src/mig/delta_tracker.hpp"
+#include "src/mig/socket_image.hpp"
+#include "src/net/checksum.hpp"
+#include "src/net/switch.hpp"
+#include "src/proc/node.hpp"
+
+namespace dvemig {
+namespace {
+
+void BM_BinaryWriterThroughput(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Buffer chunk(4096, 0x5A);
+  for (auto _ : state) {
+    BinaryWriter w;
+    for (std::size_t i = 0; i < n / 4096; ++i) w.bytes(chunk);
+    benchmark::DoNotOptimize(w.buffer().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BinaryWriterThroughput)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_Fnv1a(benchmark::State& state) {
+  const Buffer data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fnv1a(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Fnv1a)->Arg(1 << 10)->Arg(64 << 10);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  const Buffer data(static_cast<std::size_t>(state.range(0)), 0x37);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::internet_checksum(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(1500);
+
+void BM_PacketChecksumFinalize(benchmark::State& state) {
+  for (auto _ : state) {
+    net::Packet p = net::make_udp({net::Ipv4Addr::octets(1, 1, 1, 1), 1},
+                                  {net::Ipv4Addr::octets(2, 2, 2, 2), 2},
+                                  Buffer(256, 0x11));
+    benchmark::DoNotOptimize(p.checksum);
+  }
+}
+BENCHMARK(BM_PacketChecksumFinalize);
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    int counter = 0;
+    for (int i = 0; i < 10000; ++i) {
+      engine.schedule_at(SimTime::nanoseconds(i), [&counter] { ++counter; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+void BM_DirtyTrackerRound(benchmark::State& state) {
+  proc::AddressSpace mem;
+  mem.mmap(static_cast<std::uint64_t>(state.range(0)) * proc::kPageSize,
+           proc::prot_read | proc::prot_write, "[heap]");
+  ckpt::DirtyTracker tracker;
+  (void)tracker.round(mem);
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    mem.touch_random(rng, 128);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tracker.round(mem));
+  }
+}
+BENCHMARK(BM_DirtyTrackerRound)->Arg(4096);
+
+struct TcpPairFixture {
+  sim::Engine engine;
+  net::Switch sw{engine, net::LinkConfig{}};
+  stack::NetStack a{engine, "a", SimTime::seconds(1)};
+  stack::NetStack b{engine, "b", SimTime::seconds(2)};
+  stack::TcpSocket::Ptr client;
+  stack::TcpSocket::Ptr server;
+
+  TcpPairFixture() {
+    const auto addr_a = net::Ipv4Addr::octets(10, 0, 0, 1);
+    const auto addr_b = net::Ipv4Addr::octets(10, 0, 0, 2);
+    a.add_interface(addr_a,
+                    sw.attach(addr_a, [this](net::Packet p) { a.rx(std::move(p)); }));
+    b.add_interface(addr_b,
+                    sw.attach(addr_b, [this](net::Packet p) { b.rx(std::move(p)); }));
+    auto listener = b.make_tcp();
+    listener->bind(addr_b, 9000);
+    listener->listen(4);
+    client = a.make_tcp();
+    client->connect(net::Endpoint{addr_b, 9000});
+    engine.run();
+    server = listener->accept();
+    client->send(Buffer(2048, 7));
+    engine.run();
+  }
+};
+
+void BM_TcpExtractFull(benchmark::State& state) {
+  TcpPairFixture fx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mig::extract_tcp(*fx.server, 4));
+  }
+}
+BENCHMARK(BM_TcpExtractFull);
+
+void BM_TcpDeltaCheckUnchanged(benchmark::State& state) {
+  TcpPairFixture fx;
+  mig::SocketDeltaTracker tracker;
+  BinaryWriter warmup;
+  (void)tracker.emit_tcp(mig::extract_tcp(*fx.server, 4), warmup, false);
+  for (auto _ : state) {
+    BinaryWriter out;
+    benchmark::DoNotOptimize(
+        tracker.emit_tcp(mig::extract_tcp(*fx.server, 4), out, false));
+  }
+}
+BENCHMARK(BM_TcpDeltaCheckUnchanged);
+
+void BM_SimulatedTcpBulkTransfer(benchmark::State& state) {
+  // Host-side cost of simulating a 1 MiB TCP transfer end to end.
+  for (auto _ : state) {
+    TcpPairFixture fx;
+    fx.server->set_on_readable([srv = fx.server.get()] { (void)srv->read(); });
+    fx.client->send(Buffer(1 << 20, 3));
+    fx.engine.run();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * (1 << 20));
+}
+BENCHMARK(BM_SimulatedTcpBulkTransfer);
+
+void BM_ProcessImageSerialize(benchmark::State& state) {
+  sim::Engine engine;
+  proc::NodeConfig nc;
+  nc.id = NodeId{1};
+  nc.name = "n";
+  nc.public_addr = net::Ipv4Addr::octets(1, 1, 1, 1);
+  nc.local_addr = net::Ipv4Addr::octets(10, 0, 0, 1);
+  proc::Node node(engine, nc);
+  auto proc = node.spawn("bench");
+  proc->mem().mmap(12ull << 20, proc::prot_read | proc::prot_write, "[heap]");
+  for (int i = 0; i < 8; ++i) proc->add_thread();
+  for (int i = 0; i < 16; ++i) proc->files().open_file("/f" + std::to_string(i));
+  const ckpt::ProcessImage img = ckpt::snapshot_process(*proc);
+  for (auto _ : state) {
+    BinaryWriter w;
+    img.serialize(w);
+    benchmark::DoNotOptimize(w.buffer().data());
+  }
+}
+BENCHMARK(BM_ProcessImageSerialize);
+
+}  // namespace
+}  // namespace dvemig
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+#include "src/ckpt/dirty_tracker.hpp"
+
+#include <algorithm>
+
+namespace dvemig::ckpt {
+
+MemoryDelta DirtyTracker::round(proc::AddressSpace& mem) {
+  MemoryDelta delta;
+  rounds_ += 1;
+
+  // --- vm_area diff: walk both sorted lists in lockstep ---
+  std::vector<VmAreaImage> current;
+  current.reserve(mem.areas().size());
+  for (const auto& a : mem.areas()) current.push_back(VmAreaImage::from(a));
+
+  std::size_t i = 0;  // tracked (previous round)
+  std::size_t j = 0;  // current
+  while (i < tracked_areas_.size() || j < current.size()) {
+    if (i == tracked_areas_.size()) {
+      delta.added_areas.push_back(current[j++]);
+    } else if (j == current.size()) {
+      delta.removed_areas.push_back(tracked_areas_[i++].start);
+    } else if (tracked_areas_[i].start == current[j].start) {
+      if (!tracked_areas_[i].same_extent(current[j])) {
+        delta.modified_areas.push_back(current[j]);
+      }
+      ++i;
+      ++j;
+    } else if (tracked_areas_[i].start < current[j].start) {
+      delta.removed_areas.push_back(tracked_areas_[i++].start);
+    } else {
+      delta.added_areas.push_back(current[j++]);
+    }
+  }
+  tracked_areas_ = std::move(current);
+
+  // --- dirty pages ---
+  if (rounds_ == 1) {
+    // First round: the destination has nothing yet, so every anonymous page is
+    // transferred regardless of its dirty bit (a re-migrated process's pages are
+    // clean — they were just restored — but must still ship in full).
+    (void)mem.collect_and_clear_dirty();
+    for (const auto& area : mem.areas()) {
+      if (area.file_backed) continue;
+      for (std::uint64_t p = area.start / proc::kPageSize;
+           p < area.end() / proc::kPageSize; ++p) {
+        delta.dirty_pages.push_back(p);
+      }
+    }
+    std::sort(delta.dirty_pages.begin(), delta.dirty_pages.end());
+  } else {
+    delta.dirty_pages = mem.collect_and_clear_dirty();
+  }
+  return delta;
+}
+
+}  // namespace dvemig::ckpt

@@ -1,0 +1,91 @@
+// Checkpoint image structures (the BLCR-equivalent layer).
+//
+// A ProcessImage carries everything the freeze phase transfers *except* sockets,
+// which take the dedicated socket-migration path (src/mig). Byte sizes of the
+// serialized forms are measured quantities in the experiments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/serial.hpp"
+#include "src/common/types.hpp"
+#include "src/proc/process.hpp"
+
+namespace dvemig::ckpt {
+
+struct VmAreaImage {
+  std::uint64_t start{0};
+  std::uint64_t length{0};
+  std::uint32_t prot{0};
+  bool file_backed{false};
+  std::string name;
+
+  static VmAreaImage from(const proc::VmArea& a) {
+    return VmAreaImage{a.start, a.length, a.prot, a.file_backed, a.name};
+  }
+  proc::VmArea to_area() const {
+    return proc::VmArea{start, length, prot, file_backed, name};
+  }
+  bool same_extent(const VmAreaImage& o) const {
+    return start == o.start && length == o.length && prot == o.prot;
+  }
+};
+
+struct ThreadImage {
+  std::uint32_t tid{0};
+  std::array<std::uint64_t, 16> gp_regs{};
+  std::uint64_t pc{0};
+  std::uint64_t sp{0};
+  std::uint64_t signal_mask{0};
+};
+
+struct FileImage {
+  Fd fd{-1};
+  std::string path;
+  std::uint64_t offset{0};
+  std::uint32_t flags{0};
+};
+
+/// Freeze-phase process metadata (open file table, descriptors, thread relations,
+/// registers, signal handlers, ids — Figure 3's leader/per-thread transfers).
+struct ProcessImage {
+  Pid pid{};
+  std::string name;
+  std::vector<VmAreaImage> areas;
+  std::vector<ThreadImage> threads;
+  std::map<int, std::uint64_t> signal_handlers;
+  std::vector<FileImage> regular_files;
+  std::vector<Fd> socket_fds;  // order of reattachment on the destination
+  std::string app_kind;
+  Buffer app_blob;
+  std::int64_t src_jiffies{0};       // source jiffies at checkpoint (Section V-C1)
+  std::int64_t src_local_now_ns{0};  // source local clock at checkpoint
+
+  void serialize(BinaryWriter& w) const;
+  static ProcessImage deserialize(BinaryReader& r);
+};
+
+/// Capture the freeze-phase metadata of a process (sockets listed, not dumped).
+ProcessImage snapshot_process(const proc::Process& proc);
+
+/// One precopy round's address-space delta (vm_area diff + dirty pages).
+struct MemoryDelta {
+  std::vector<VmAreaImage> added_areas;
+  std::vector<std::uint64_t> removed_areas;    // start addresses
+  std::vector<VmAreaImage> modified_areas;     // extent/prot changed in place
+  std::vector<std::uint64_t> dirty_pages;      // page numbers to (re)transfer
+
+  /// Serialized size: metadata plus one page-size payload per dirty page.
+  std::size_t transfer_bytes() const;
+  void serialize(BinaryWriter& w) const;
+  static MemoryDelta deserialize(BinaryReader& r);
+  bool empty() const {
+    return added_areas.empty() && removed_areas.empty() && modified_areas.empty() &&
+           dirty_pages.empty();
+  }
+};
+
+}  // namespace dvemig::ckpt

@@ -1,0 +1,24 @@
+// Restore side of checkpointing: rebuild a Process from a ProcessImage on the
+// destination node. Socket reattachment is performed by the migration layer
+// (src/mig); the app logic object is reconstructed here but only started when the
+// process is resumed.
+#pragma once
+
+#include <memory>
+
+#include "src/ckpt/image.hpp"
+#include "src/proc/node.hpp"
+
+namespace dvemig::ckpt {
+
+/// Build a frozen Process on `dest` from the image: address-space layout, threads,
+/// registers, signal handlers and regular files (re-opened by path, per the shared
+/// file-system assumption of Section II-A). Returns the process *not yet adopted*
+/// by the node and still frozen; callers attach sockets, adopt, then resume().
+std::shared_ptr<proc::Process> restore_process(proc::Node& dest,
+                                               const ProcessImage& img);
+
+/// Apply an incremental memory delta to a process under restoration.
+void apply_memory_delta(proc::Process& proc, const MemoryDelta& delta);
+
+}  // namespace dvemig::ckpt

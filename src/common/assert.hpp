@@ -1,0 +1,35 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines' Expects/Ensures.
+//
+// Violations are programming errors, not recoverable conditions: they abort with a
+// diagnostic. They stay enabled in all build types because the simulator's value is
+// its invariants — a silently corrupted socket table produces plausible-looking but
+// meaningless experiment numbers.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dvemig::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "dvemig: %s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace dvemig::detail
+
+#define DVEMIG_EXPECTS(cond)                                                      \
+  ((cond) ? static_cast<void>(0)                                                  \
+          : ::dvemig::detail::contract_failure("precondition", #cond, __FILE__, __LINE__))
+
+#define DVEMIG_ENSURES(cond)                                                      \
+  ((cond) ? static_cast<void>(0)                                                  \
+          : ::dvemig::detail::contract_failure("postcondition", #cond, __FILE__, __LINE__))
+
+#define DVEMIG_ASSERT(cond)                                                       \
+  ((cond) ? static_cast<void>(0)                                                  \
+          : ::dvemig::detail::contract_failure("invariant", #cond, __FILE__, __LINE__))
+
+#define DVEMIG_UNREACHABLE(msg) \
+  ::dvemig::detail::contract_failure("unreachable", msg, __FILE__, __LINE__)

@@ -1,0 +1,41 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded (one discrete-event loop), so the logger needs no
+// synchronisation. Levels are filtered at runtime; the default is `warn` so tests and
+// benchmarks stay quiet unless asked.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace dvemig {
+
+enum class LogLevel : int { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+class Log {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::warn;
+    return lvl;
+  }
+
+  static bool enabled(LogLevel lvl) { return lvl >= level(); }
+
+  static void write(LogLevel lvl, const char* tag, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+};
+
+}  // namespace dvemig
+
+#define DVEMIG_LOG(lvl, tag, ...)                             \
+  do {                                                        \
+    if (::dvemig::Log::enabled(lvl)) {                        \
+      ::dvemig::Log::write(lvl, tag, __VA_ARGS__);            \
+    }                                                         \
+  } while (0)
+
+#define DVEMIG_TRACE(tag, ...) DVEMIG_LOG(::dvemig::LogLevel::trace, tag, __VA_ARGS__)
+#define DVEMIG_DEBUG(tag, ...) DVEMIG_LOG(::dvemig::LogLevel::debug, tag, __VA_ARGS__)
+#define DVEMIG_INFO(tag, ...) DVEMIG_LOG(::dvemig::LogLevel::info, tag, __VA_ARGS__)
+#define DVEMIG_WARN(tag, ...) DVEMIG_LOG(::dvemig::LogLevel::warn, tag, __VA_ARGS__)
+#define DVEMIG_ERROR(tag, ...) DVEMIG_LOG(::dvemig::LogLevel::error, tag, __VA_ARGS__)

@@ -1,0 +1,14 @@
+#include "src/common/serial.hpp"
+
+namespace dvemig {
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace dvemig

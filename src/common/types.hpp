@@ -1,0 +1,68 @@
+// Fundamental value types shared by every layer.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+
+namespace dvemig {
+
+/// Simulated time in nanoseconds since simulation start.
+///
+/// A strong type rather than a bare integer so that durations, byte counts and
+/// identifiers cannot be mixed up silently at call sites.
+struct SimTime {
+  std::int64_t ns{0};
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime nanoseconds(std::int64_t v) { return SimTime{v}; }
+  static constexpr SimTime microseconds(std::int64_t v) { return SimTime{v * 1'000}; }
+  static constexpr SimTime milliseconds(std::int64_t v) { return SimTime{v * 1'000'000}; }
+  static constexpr SimTime seconds(std::int64_t v) { return SimTime{v * 1'000'000'000}; }
+
+  constexpr double to_ms() const { return static_cast<double>(ns) / 1e6; }
+  constexpr double to_us() const { return static_cast<double>(ns) / 1e3; }
+  constexpr double to_sec() const { return static_cast<double>(ns) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+  constexpr SimTime operator+(SimTime o) const { return SimTime{ns + o.ns}; }
+  constexpr SimTime operator-(SimTime o) const { return SimTime{ns - o.ns}; }
+  constexpr SimTime& operator+=(SimTime o) { ns += o.ns; return *this; }
+  constexpr SimTime& operator-=(SimTime o) { ns -= o.ns; return *this; }
+  constexpr SimTime operator*(std::int64_t k) const { return SimTime{ns * k}; }
+  constexpr SimTime operator/(std::int64_t k) const { return SimTime{ns / k}; }
+};
+
+/// Duration alias — same representation, used where the value is a span, not an instant.
+using SimDuration = SimTime;
+
+/// Process identifier, unique cluster-wide in this simulator.
+struct Pid {
+  std::uint32_t value{0};
+  constexpr auto operator<=>(const Pid&) const = default;
+};
+
+/// Node identifier (index into the cluster's node list).
+struct NodeId {
+  std::uint32_t value{0};
+  constexpr auto operator<=>(const NodeId&) const = default;
+};
+
+/// File-descriptor number within one process.
+using Fd = int;
+
+}  // namespace dvemig
+
+template <>
+struct std::hash<dvemig::Pid> {
+  std::size_t operator()(const dvemig::Pid& p) const noexcept {
+    return std::hash<std::uint32_t>{}(p.value);
+  }
+};
+
+template <>
+struct std::hash<dvemig::NodeId> {
+  std::size_t operator()(const dvemig::NodeId& n) const noexcept {
+    return std::hash<std::uint32_t>{}(n.value);
+  }
+};

@@ -1,0 +1,61 @@
+#include "src/dve/database.hpp"
+
+#include <algorithm>
+
+namespace dvemig::dve {
+
+DatabaseServer::DatabaseServer(proc::Node& node, DatabaseConfig config)
+    : node_(&node), config_(config) {}
+
+void DatabaseServer::start() {
+  listener_ = node_->stack().make_tcp();
+  listener_->bind(node_->local_addr(), config_.port);
+  listener_->listen(256);
+  listener_->set_on_accept_ready([this] { on_accept_ready(); });
+}
+
+void DatabaseServer::on_accept_ready() {
+  while (auto conn = listener_->accept()) {
+    auto session = std::make_shared<Session>();
+    session->server = this;
+    session->sock = std::move(conn);
+    session->sock->set_on_readable([s = session.get()] { s->on_readable(); });
+    session->sock->set_on_peer_closed([this, s = session.get()] {
+      s->sock->close();
+      std::erase_if(sessions_, [s](const auto& e) { return e.get() == s; });
+    });
+    session->sock->set_on_reset([this, s = session.get()] {
+      std::erase_if(sessions_, [s](const auto& e) { return e.get() == s; });
+    });
+    sessions_.push_back(std::move(session));
+  }
+}
+
+void DatabaseServer::Session::on_readable() {
+  Buffer chunk = sock->read();
+  rx.insert(rx.end(), chunk.begin(), chunk.end());
+  process();
+}
+
+void DatabaseServer::Session::process() {
+  while (rx.size() >= 4) {
+    BinaryReader len_reader({rx.data(), 4});
+    const std::uint32_t len = len_reader.u32();
+    if (rx.size() - 4 < len) break;
+    rx.erase(rx.begin(), rx.begin() + 4 + len);
+
+    server->queries_ += 1;
+    auto& engine = server->node_->engine();
+    engine.schedule_after(
+        server->config_.processing_delay,
+        [self = shared_from_this()] {
+          if (self->sock->state() != stack::TcpState::established) return;
+          BinaryWriter w;
+          w.u32(static_cast<std::uint32_t>(self->server->config_.response_bytes));
+          w.bytes(Buffer(self->server->config_.response_bytes, 0x42));
+          self->sock->send(w.take());
+        });
+  }
+}
+
+}  // namespace dvemig::dve

@@ -1,0 +1,142 @@
+#include "src/dve/game_server.hpp"
+
+#include <algorithm>
+
+namespace dvemig::dve {
+
+void GameServerApp::register_kind() {
+  if (proc::AppLogic::is_registered(kKind)) return;
+  proc::AppLogic::register_kind(kKind, [](BinaryReader& r) { return deserialize(r); });
+}
+
+std::shared_ptr<proc::Process> GameServerApp::launch(proc::Node& node,
+                                                     GameServerConfig cfg) {
+  register_kind();
+  auto proc = node.spawn("openarena");
+
+  auto& mem = proc->mem();
+  mem.mmap(cfg.code_bytes, proc::prot_read | proc::prot_exec, "ioq3ded",
+           /*file_backed=*/true);
+  mem.mmap(cfg.heap_bytes, proc::prot_read | proc::prot_write, "[heap]");
+  mem.mmap(512 << 10, proc::prot_read | proc::prot_write, "[stack]");
+
+  auto app = std::make_shared<GameServerApp>(cfg);
+  auto sock = node.stack().make_udp();
+  sock->bind(node.public_addr(), cfg.port);
+  app->sock_fd_ = proc->files().attach_socket(sock);
+
+  proc->set_app(app);
+  app->start(*proc);
+  return proc;
+}
+
+void GameServerApp::serialize(BinaryWriter& w) const {
+  w.u16(cfg_.port);
+  w.i64(cfg_.tick.ns);
+  w.u32(static_cast<std::uint32_t>(cfg_.snapshot_bytes));
+  w.f64(cfg_.base_cores);
+  w.f64(cfg_.per_client_cores);
+  w.u64(cfg_.pages_per_tick);
+  w.i64(cfg_.client_timeout.ns);
+  w.i32(sock_fd_);
+  w.u32(static_cast<std::uint32_t>(clients_.size()));
+  for (const ClientEntry& c : clients_) {
+    w.u32(c.endpoint.addr.value);
+    w.u16(c.endpoint.port);
+    w.i64(c.last_seen_ns);
+  }
+  w.u32(snapshot_seq_);
+  w.u64(snapshots_sent_);
+  w.i64(next_tick_at_ns_);
+}
+
+std::shared_ptr<proc::AppLogic> GameServerApp::deserialize(BinaryReader& r) {
+  GameServerConfig cfg;
+  cfg.port = r.u16();
+  cfg.tick = SimTime::nanoseconds(r.i64());
+  cfg.snapshot_bytes = r.u32();
+  cfg.base_cores = r.f64();
+  cfg.per_client_cores = r.f64();
+  cfg.pages_per_tick = r.u64();
+  cfg.client_timeout = SimTime::nanoseconds(r.i64());
+
+  auto app = std::make_shared<GameServerApp>(cfg);
+  app->sock_fd_ = r.i32();
+  const std::uint32_t n = r.u32();
+  app->clients_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ClientEntry c;
+    c.endpoint.addr.value = r.u32();
+    c.endpoint.port = r.u16();
+    c.last_seen_ns = r.i64();
+    app->clients_.push_back(c);
+  }
+  app->snapshot_seq_ = r.u32();
+  app->snapshots_sent_ = r.u64();
+  app->next_tick_at_ns_ = r.i64();
+  return app;
+}
+
+stack::UdpSocket& GameServerApp::udp() const {
+  const proc::OpenFile& file = proc_->files().get(sock_fd_);
+  DVEMIG_ASSERT(file.kind == proc::FileKind::socket);
+  return static_cast<stack::UdpSocket&>(*file.socket);
+}
+
+void GameServerApp::start(proc::Process& proc) {
+  proc_ = &proc;
+  udp().set_on_readable([this] { on_readable(); });
+  // Resume the real-time loop where it left off: a frame that came due during
+  // the freeze fires immediately (catch-up), preserving the update cadence.
+  sim::Engine& engine = proc.node().engine();
+  const SimTime due = next_tick_at_ns_ >= 0
+                          ? std::max(engine.now(), SimTime{next_tick_at_ns_})
+                          : engine.now() + cfg_.tick;
+  next_tick_at_ns_ = due.ns;
+  tick_timer_ = engine.schedule_at(due, [this] { tick(); });
+  on_readable();  // reinjected client commands may already be queued
+}
+
+void GameServerApp::stop() { tick_timer_.cancel(); }
+
+void GameServerApp::on_readable() {
+  if (proc_ == nullptr || proc_->frozen()) return;
+  while (auto dgram = udp().recv()) {
+    const auto it = std::find_if(clients_.begin(), clients_.end(), [&](const auto& c) {
+      return c.endpoint == dgram->from;
+    });
+    const std::int64_t now = proc_->node().engine().now().ns;
+    if (it == clients_.end()) {
+      clients_.push_back(ClientEntry{dgram->from, now});
+    } else {
+      it->last_seen_ns = now;
+    }
+  }
+}
+
+void GameServerApp::tick() {
+  if (proc_ == nullptr || proc_->frozen()) return;
+  const std::int64_t now = proc_->node().engine().now().ns;
+  std::erase_if(clients_, [&](const ClientEntry& c) {
+    return now - c.last_seen_ns > cfg_.client_timeout.ns;
+  });
+
+  const double cores =
+      cfg_.base_cores + cfg_.per_client_cores * static_cast<double>(clients_.size());
+  proc_->account_cpu(SimTime::nanoseconds(
+      static_cast<std::int64_t>(cores * static_cast<double>(cfg_.tick.ns))));
+  proc_->mem().touch_random(proc_->rng(), cfg_.pages_per_tick);
+
+  snapshot_seq_ += 1;
+  for (const ClientEntry& c : clients_) {
+    BinaryWriter w;
+    w.u32(snapshot_seq_);
+    w.bytes(Buffer(cfg_.snapshot_bytes - 4, 0x3C));
+    udp().send_to(c.endpoint, w.take());
+    snapshots_sent_ += 1;
+  }
+  next_tick_at_ns_ = (proc_->node().engine().now() + cfg_.tick).ns;
+  tick_timer_ = proc_->node().engine().schedule_after(cfg_.tick, [this] { tick(); });
+}
+
+}  // namespace dvemig::dve

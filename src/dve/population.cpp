@@ -1,0 +1,90 @@
+#include "src/dve/population.hpp"
+
+#include <algorithm>
+
+namespace dvemig::dve {
+
+Population::Population(Testbed& testbed, const ZoneGrid& grid, PopulationConfig cfg)
+    : testbed_(&testbed), grid_(grid), cfg_(cfg), rng_(cfg.seed) {}
+
+void Population::populate() {
+  members_.reserve(cfg_.client_count);
+  const std::uint32_t region = std::max<std::uint32_t>(1, cfg_.corner_region);
+
+  for (std::uint32_t i = 0; i < cfg_.client_count; ++i) {
+    Member m;
+    m.host = &testbed_->make_client_host();
+    m.client = std::make_unique<TcpDveClient>(*m.host, testbed_->public_ip());
+    // Uniform initial distribution over the zones.
+    m.zone = static_cast<ZoneId>(i % grid_.zone_count());
+    const std::uint32_t row = grid_.row_of(m.zone);
+    const bool middle = row >= cfg_.middle_row_min && row <= cfg_.middle_row_max;
+    m.mover = middle && rng_.chance(cfg_.moving_fraction);
+    // Upper-middle clients head toward the up-left corner region; lower-middle
+    // toward the down-right one. Each mover picks its own spot in the region.
+    const std::uint32_t tr = static_cast<std::uint32_t>(rng_.next_below(region));
+    const std::uint32_t tc = static_cast<std::uint32_t>(rng_.next_below(region));
+    if (row < grid_.rows() / 2) {
+      m.target = grid_.zone_at(tr, tc);
+    } else {
+      m.target = grid_.zone_at(grid_.rows() - 1 - tr, grid_.cols() - 1 - tc);
+    }
+    members_.push_back(std::move(m));
+  }
+
+  // Ramped connects so 10k handshakes do not fire in one instant.
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const SimDuration when = SimTime::nanoseconds(
+        cfg_.connect_ramp.ns * static_cast<std::int64_t>(i) /
+        static_cast<std::int64_t>(members_.size()));
+    testbed_->engine().schedule_after(when, [this, i] {
+      Member& m = members_[i];
+      m.client->connect_to_zone(m.zone);
+    });
+  }
+}
+
+void Population::start_movement() {
+  move_timer_ = testbed_->engine().schedule_at(cfg_.move_start,
+                                               [this] { movement_step(); });
+}
+
+void Population::movement_step() {
+  const SimTime now = testbed_->engine().now();
+  if (now > cfg_.move_end) return;  // clustering complete
+  for (Member& m : members_) {
+    if (!m.mover || m.zone == m.target) continue;
+    if (!rng_.chance(cfg_.move_step_prob)) continue;
+    const ZoneId next = grid_.step_toward(m.zone, m.target);
+    m.zone = next;
+    handoffs_ += 1;
+    // Zone handoff: the client reconnects to the new zone's server port (the
+    // application-layer client migration the paper contrasts with OS-level
+    // balancing — it happens regardless of which node hosts the zone).
+    m.client->connect_to_zone(next);
+  }
+  move_timer_ = testbed_->engine().schedule_after(cfg_.move_interval,
+                                                  [this] { movement_step(); });
+}
+
+std::vector<std::uint32_t> Population::clients_per_zone() const {
+  std::vector<std::uint32_t> counts(grid_.zone_count(), 0);
+  for (const Member& m : members_) counts[m.zone] += 1;
+  return counts;
+}
+
+std::uint32_t Population::clients_in_zone(ZoneId z) const {
+  std::uint32_t n = 0;
+  for (const Member& m : members_) {
+    if (m.zone == z) ++n;
+  }
+  return n;
+}
+
+std::uint64_t Population::total_resets() const {
+  std::uint64_t n = 0;
+  for (const Member& m : members_) n += m.client->resets_seen();
+  return n;
+}
+
+}  // namespace dvemig::dve

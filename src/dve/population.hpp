@@ -1,0 +1,70 @@
+// Client population and movement model (Section VI-C): 10,000 clients initially
+// uniform over the 10x10 grid; during the experiment, clients from the middle
+// regions gradually drift toward the up-left and down-right corners — the entity
+// clustering reported as common in large-scale environments.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/dve/client.hpp"
+#include "src/dve/testbed.hpp"
+#include "src/dve/zone.hpp"
+
+namespace dvemig::dve {
+
+struct PopulationConfig {
+  std::uint32_t client_count{10000};
+  // Connection ramp: clients connect spread over this window from t=0.
+  SimDuration connect_ramp{SimTime::seconds(10)};
+  // Movement model.
+  std::uint32_t middle_row_min{2};
+  std::uint32_t middle_row_max{7};     // inclusive; rows 2..7 are "the middle"
+  double moving_fraction{0.25};        // fraction of middle clients that drift
+  // Movers head for a random zone inside the corner region (an NxN block at the
+  // up-left / down-right corner), modelling clustering *around* the corners
+  // rather than a single pathological zone.
+  std::uint32_t corner_region{3};
+  SimDuration move_interval{SimTime::seconds(2)};
+  double move_step_prob{0.06};         // per mover per interval
+  SimTime move_start{SimTime::seconds(60)};
+  SimTime move_end{SimTime::seconds(720)};
+  std::uint64_t seed{42};
+};
+
+class Population {
+ public:
+  Population(Testbed& testbed, const ZoneGrid& grid, PopulationConfig cfg = {});
+
+  /// Create all clients and schedule their (ramped) connections.
+  void populate();
+  /// Begin the periodic movement steps.
+  void start_movement();
+
+  std::vector<std::uint32_t> clients_per_zone() const;
+  std::uint32_t clients_in_zone(ZoneId z) const;
+  std::size_t size() const { return members_.size(); }
+  std::uint64_t total_resets() const;
+  std::uint64_t zone_handoffs() const { return handoffs_; }
+
+ private:
+  struct Member {
+    ClientHost* host{nullptr};
+    std::unique_ptr<TcpDveClient> client;
+    ZoneId zone{0};
+    bool mover{false};
+    ZoneId target{0};
+  };
+
+  void movement_step();
+
+  Testbed* testbed_;
+  ZoneGrid grid_;
+  PopulationConfig cfg_;
+  Rng rng_;
+  std::vector<Member> members_;
+  sim::TimerHandle move_timer_;
+  std::uint64_t handoffs_{0};
+};
+
+}  // namespace dvemig::dve

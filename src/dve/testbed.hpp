@@ -1,0 +1,81 @@
+// Testbed assembly: the experimental framework of Section VI-A — a dedicated
+// single-IP-address cluster of DVE server nodes plus a MySQL database server,
+// interconnected by GbE, with a broadcasting router on the public side.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/dve/client.hpp"
+#include "src/dve/database.hpp"
+#include "src/lb/conductor.hpp"
+#include "src/mig/migd.hpp"
+#include "src/net/router.hpp"
+#include "src/net/switch.hpp"
+
+namespace dvemig::dve {
+
+struct TestbedConfig {
+  std::uint32_t dve_nodes{5};
+  double cpu_cores{2.0};  // dual-core Opterons
+  net::LinkConfig cluster_link{1e9, SimTime::microseconds(15)};
+  net::LinkConfig public_link{1e9, SimTime::microseconds(100)};
+  bool with_db{true};
+  bool start_conductors{true};
+  mig::CostModel cost_model{};
+  lb::PolicyConfig policy{};
+};
+
+/// One DVE server node with its daemons (Figure 2's software components; transd
+/// lives inside Migd).
+struct NodeBundle {
+  NodeBundle(sim::Engine& engine, proc::NodeConfig node_cfg, mig::CostModel cm,
+             lb::PolicyConfig policy);
+
+  proc::Node node;
+  mig::Migd migd;
+  lb::Conductor conductor;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig cfg = {});
+
+  sim::Engine& engine() { return engine_; }
+  net::BroadcastRouter& router() { return router_; }
+  net::Switch& cluster_switch() { return switch_; }
+  const TestbedConfig& config() const { return cfg_; }
+
+  net::Ipv4Addr public_ip() const { return router_.cluster_ip(); }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  NodeBundle& node(std::size_t i) { return *nodes_.at(i); }
+
+  proc::Node* db_node() { return db_node_.get(); }
+  DatabaseServer* db() { return db_server_.get(); }
+  mig::Transd& db_transd() { return *db_transd_; }
+  mig::TranslationManager& db_translation() { return *db_translation_; }
+
+  /// Create (and own) a client host with a fresh public address.
+  ClientHost& make_client_host();
+
+  void run_for(SimDuration d) { engine_.run_until(engine_.now() + d); }
+  void run_until(SimTime t) { engine_.run_until(t); }
+
+ private:
+  TestbedConfig cfg_;
+  sim::Engine engine_;
+  net::Switch switch_;
+  net::BroadcastRouter router_;
+  std::vector<std::unique_ptr<NodeBundle>> nodes_;
+  std::unique_ptr<proc::Node> db_node_;
+  std::unique_ptr<DatabaseServer> db_server_;
+  // transd must run on every host that can be the peer of a migrated in-cluster
+  // connection (Section II-B) — the database server included.
+  std::unique_ptr<mig::TranslationManager> db_translation_;
+  std::unique_ptr<mig::Transd> db_transd_;
+  std::vector<std::unique_ptr<ClientHost>> clients_;
+  std::uint32_t next_client_ip_{0};
+};
+
+}  // namespace dvemig::dve

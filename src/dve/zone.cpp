@@ -1,0 +1,26 @@
+#include "src/dve/zone.hpp"
+
+namespace dvemig::dve {
+
+std::vector<ZoneId> ZoneGrid::zones_of_node(std::uint32_t node,
+                                            std::uint32_t node_count) const {
+  std::vector<ZoneId> zones;
+  for (ZoneId z = 0; z < zone_count(); ++z) {
+    if (initial_node_of(z, node_count) == node) zones.push_back(z);
+  }
+  return zones;
+}
+
+ZoneId ZoneGrid::step_toward(ZoneId z, ZoneId target) const {
+  std::uint32_t r = row_of(z);
+  std::uint32_t c = col_of(z);
+  const std::uint32_t tr = row_of(target);
+  const std::uint32_t tc = col_of(target);
+  if (r < tr) ++r;
+  else if (r > tr) --r;
+  if (c < tc) ++c;
+  else if (c > tc) --c;
+  return zone_at(r, c);
+}
+
+}  // namespace dvemig::dve

@@ -1,0 +1,56 @@
+// Virtual-space partitioning (Section VI-C): a 10x10 grid of zones, each zone
+// managed by one zone-server process; every DVE node initially hosts two grid
+// rows (20 zones), matching Figure 5a.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/assert.hpp"
+#include "src/net/address.hpp"
+
+namespace dvemig::dve {
+
+using ZoneId = std::uint32_t;
+
+/// Zone servers are addressed by port: the single-IP architecture identifies DVE
+/// processes "by separate port numbers, instead of separate IP addresses".
+inline constexpr net::Port kZonePortBase = 20000;
+
+inline net::Port zone_port(ZoneId zone) {
+  return static_cast<net::Port>(kZonePortBase + zone);
+}
+
+class ZoneGrid {
+ public:
+  ZoneGrid(std::uint32_t rows = 10, std::uint32_t cols = 10)
+      : rows_(rows), cols_(cols) {}
+
+  std::uint32_t rows() const { return rows_; }
+  std::uint32_t cols() const { return cols_; }
+  std::uint32_t zone_count() const { return rows_ * cols_; }
+
+  ZoneId zone_at(std::uint32_t row, std::uint32_t col) const {
+    DVEMIG_EXPECTS(row < rows_ && col < cols_);
+    return row * cols_ + col;
+  }
+  std::uint32_t row_of(ZoneId z) const { return z / cols_; }
+  std::uint32_t col_of(ZoneId z) const { return z % cols_; }
+
+  /// Initial assignment: node i manages rows [i*rows/nodes, (i+1)*rows/nodes).
+  std::uint32_t initial_node_of(ZoneId z, std::uint32_t node_count) const {
+    DVEMIG_EXPECTS(node_count > 0);
+    return row_of(z) * node_count / rows_;
+  }
+  std::vector<ZoneId> zones_of_node(std::uint32_t node, std::uint32_t node_count) const;
+
+  /// One grid step from `z` toward `target` (diagonal moves allowed); returns `z`
+  /// when already there.
+  ZoneId step_toward(ZoneId z, ZoneId target) const;
+
+ private:
+  std::uint32_t rows_;
+  std::uint32_t cols_;
+};
+
+}  // namespace dvemig::dve

@@ -1,0 +1,241 @@
+#include "src/dve/zone_server.hpp"
+
+#include <algorithm>
+
+#include "src/common/log.hpp"
+#include "src/dve/database.hpp"
+#include "src/stack/tcp_socket.hpp"
+
+namespace dvemig::dve {
+
+void ZoneServerApp::register_kind() {
+  if (proc::AppLogic::is_registered(kKind)) return;
+  proc::AppLogic::register_kind(kKind, [](BinaryReader& r) { return deserialize(r); });
+}
+
+std::shared_ptr<proc::Process> ZoneServerApp::launch(proc::Node& node,
+                                                     ZoneServerConfig cfg) {
+  register_kind();
+  auto proc = node.spawn("zone_" + std::to_string(cfg.zone));
+  for (std::uint32_t i = 0; i < cfg.worker_threads; ++i) proc->add_thread();
+
+  auto& mem = proc->mem();
+  mem.mmap(cfg.code_bytes, proc::prot_read | proc::prot_exec, "zone_server",
+           /*file_backed=*/true);
+  mem.mmap(cfg.libs_bytes, proc::prot_read | proc::prot_exec, "libs",
+           /*file_backed=*/true);
+  mem.mmap(cfg.heap_bytes, proc::prot_read | proc::prot_write, "[heap]");
+  mem.mmap(cfg.stack_bytes, proc::prot_read | proc::prot_write, "[stack]");
+  proc->files().open_file("/var/log/zone_" + std::to_string(cfg.zone) + ".log");
+
+  auto app = std::make_shared<ZoneServerApp>(cfg);
+
+  auto listener = node.stack().make_tcp();
+  listener->bind(node.public_addr(), zone_port(cfg.zone));
+  listener->listen(512);
+  app->listener_fd_ = proc->files().attach_socket(listener);
+
+  if (cfg.use_db) {
+    auto db = node.stack().make_tcp();
+    db->bind(node.local_addr(), 0);
+    db->connect(net::Endpoint{cfg.db_addr, kDbPort});
+    app->db_fd_ = proc->files().attach_socket(db);
+  }
+
+  proc->set_app(app);
+  app->start(*proc);
+  return proc;
+}
+
+void ZoneServerApp::serialize(BinaryWriter& w) const {
+  w.u32(cfg_.zone);
+  w.i64(cfg_.tick.ns);
+  w.u32(static_cast<std::uint32_t>(cfg_.update_bytes));
+  w.f64(cfg_.base_cores);
+  w.f64(cfg_.per_client_cores);
+  w.u32(cfg_.worker_threads);
+  w.u8(cfg_.active_updates ? 1 : 0);
+  w.u64(cfg_.pages_per_tick);
+  w.u8(cfg_.use_db ? 1 : 0);
+  w.u32(cfg_.db_addr.value);
+  w.i64(cfg_.db_update_period.ns);
+  w.u32(static_cast<std::uint32_t>(cfg_.db_query_bytes));
+
+  w.i32(listener_fd_);
+  w.i32(db_fd_);
+  w.u32(static_cast<std::uint32_t>(client_fds_.size()));
+  for (const Fd fd : client_fds_) w.i32(fd);
+  w.u32(update_seq_);
+  w.u64(updates_sent_);
+  w.u64(db_queries_sent_);
+  w.u64(db_responses_);
+  w.u64(ticks_);
+  w.blob(db_rx_);
+  w.i64(next_tick_at_ns_);
+  w.i64(next_db_at_ns_);
+}
+
+std::shared_ptr<proc::AppLogic> ZoneServerApp::deserialize(BinaryReader& r) {
+  ZoneServerConfig cfg;
+  cfg.zone = r.u32();
+  cfg.tick = SimTime::nanoseconds(r.i64());
+  cfg.update_bytes = r.u32();
+  cfg.base_cores = r.f64();
+  cfg.per_client_cores = r.f64();
+  cfg.worker_threads = r.u32();
+  cfg.active_updates = r.u8() != 0;
+  cfg.pages_per_tick = r.u64();
+  cfg.use_db = r.u8() != 0;
+  cfg.db_addr.value = r.u32();
+  cfg.db_update_period = SimTime::nanoseconds(r.i64());
+  cfg.db_query_bytes = r.u32();
+
+  auto app = std::make_shared<ZoneServerApp>(cfg);
+  app->listener_fd_ = r.i32();
+  app->db_fd_ = r.i32();
+  const std::uint32_t n = r.u32();
+  app->client_fds_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) app->client_fds_.push_back(r.i32());
+  app->update_seq_ = r.u32();
+  app->updates_sent_ = r.u64();
+  app->db_queries_sent_ = r.u64();
+  app->db_responses_ = r.u64();
+  app->ticks_ = r.u64();
+  app->db_rx_ = r.blob();
+  app->next_tick_at_ns_ = r.i64();
+  app->next_db_at_ns_ = r.i64();
+  return app;
+}
+
+stack::TcpSocket& ZoneServerApp::tcp_at(Fd fd) const {
+  const proc::OpenFile& file = proc_->files().get(fd);
+  DVEMIG_ASSERT(file.kind == proc::FileKind::socket);
+  return static_cast<stack::TcpSocket&>(*file.socket);
+}
+
+void ZoneServerApp::start(proc::Process& proc) {
+  proc_ = &proc;
+
+  // (Re)attach socket callbacks by fd — the same code path serves first launch
+  // and post-migration resume, where the fds map to freshly restored sockets.
+  tcp_at(listener_fd_).set_on_accept_ready([this] { on_accept_ready(); });
+  if (db_fd_ >= 0) {
+    tcp_at(db_fd_).set_on_readable([this] { on_db_readable(); });
+  }
+  for (const Fd fd : client_fds_) adopt_client(fd);
+
+  // Resume the real-time loop where it left off (catch-up after a freeze).
+  sim::Engine& engine = proc.node().engine();
+  const SimTime tick_due = next_tick_at_ns_ >= 0
+                               ? std::max(engine.now(), SimTime{next_tick_at_ns_})
+                               : engine.now() + cfg_.tick;
+  next_tick_at_ns_ = tick_due.ns;
+  tick_timer_ = engine.schedule_at(tick_due, [this] { tick(); });
+  if (db_fd_ >= 0) {
+    const SimTime db_due = next_db_at_ns_ >= 0
+                               ? std::max(engine.now(), SimTime{next_db_at_ns_})
+                               : engine.now() + cfg_.db_update_period;
+    next_db_at_ns_ = db_due.ns;
+    db_timer_ = engine.schedule_at(db_due, [this] { db_update(); });
+  }
+  on_accept_ready();   // connections may have completed while frozen
+  on_db_readable();    // reinjected DB responses may already be readable
+}
+
+void ZoneServerApp::stop() {
+  tick_timer_.cancel();
+  db_timer_.cancel();
+}
+
+void ZoneServerApp::on_accept_ready() {
+  if (proc_ == nullptr || proc_->frozen()) return;
+  while (auto conn = tcp_at(listener_fd_).accept()) {
+    const Fd fd = proc_->files().attach_socket(conn);
+    client_fds_.push_back(fd);
+    adopt_client(fd);
+  }
+}
+
+void ZoneServerApp::adopt_client(Fd fd) {
+  stack::TcpSocket& sock = tcp_at(fd);
+  sock.set_on_peer_closed([this, fd] { drop_client(fd); });
+  sock.set_on_reset([this, fd] { drop_client(fd); });
+  // Client requests are drained each tick; no per-message callback needed.
+}
+
+void ZoneServerApp::drop_client(Fd fd) {
+  if (proc_ == nullptr || proc_->frozen()) return;
+  const auto it = std::find(client_fds_.begin(), client_fds_.end(), fd);
+  if (it == client_fds_.end()) return;
+  client_fds_.erase(it);
+  tcp_at(fd).close();
+  proc_->files().close(fd);
+}
+
+void ZoneServerApp::tick() {
+  if (proc_ == nullptr || proc_->frozen()) return;
+  ticks_ += 1;
+  const double n = static_cast<double>(client_fds_.size());
+
+  // The real-time loop: process client events, govern interactions, respond
+  // state updates — CPU grows proportionally with the clients in the zone.
+  const double cores = cfg_.base_cores + cfg_.per_client_cores * n;
+  proc_->account_cpu(SimTime::nanoseconds(
+      static_cast<std::int64_t>(cores * static_cast<double>(cfg_.tick.ns))));
+  proc_->mem().touch_random(proc_->rng(),
+                            cfg_.pages_per_tick + client_fds_.size() / 32);
+
+  if (cfg_.active_updates) {
+    update_seq_ += 1;
+    for (const Fd fd : client_fds_) {
+      stack::TcpSocket& sock = tcp_at(fd);
+      if (sock.state() != stack::TcpState::established) continue;
+      // Drain whatever the client sent since the last tick (the "events").
+      sock.lock_user();  // the app is inside a recv/send syscall pair
+      (void)sock.read();
+      BinaryWriter w;
+      w.u32(static_cast<std::uint32_t>(cfg_.update_bytes - 4));
+      w.u32(update_seq_);
+      w.bytes(Buffer(cfg_.update_bytes - 8, 0x5A));
+      sock.send(w.take());
+      sock.unlock_user();
+      updates_sent_ += 1;
+    }
+  } else {
+    for (const Fd fd : client_fds_) (void)tcp_at(fd).read();
+  }
+
+  next_tick_at_ns_ = (proc_->node().engine().now() + cfg_.tick).ns;
+  tick_timer_ = proc_->node().engine().schedule_after(cfg_.tick, [this] { tick(); });
+}
+
+void ZoneServerApp::db_update() {
+  if (proc_ == nullptr || proc_->frozen()) return;
+  stack::TcpSocket& db = tcp_at(db_fd_);
+  if (db.state() == stack::TcpState::established ||
+      db.state() == stack::TcpState::syn_sent) {
+    BinaryWriter w;
+    w.u32(static_cast<std::uint32_t>(cfg_.db_query_bytes));
+    w.bytes(Buffer(cfg_.db_query_bytes, 0x51));
+    db.send(w.take());
+    db_queries_sent_ += 1;
+  }
+  next_db_at_ns_ = (proc_->node().engine().now() + cfg_.db_update_period).ns;
+  db_timer_ = proc_->node().engine().schedule_after(cfg_.db_update_period,
+                                                    [this] { db_update(); });
+}
+
+void ZoneServerApp::on_db_readable() {
+  if (proc_ == nullptr || proc_->frozen() || db_fd_ < 0) return;
+  Buffer chunk = tcp_at(db_fd_).read();
+  db_rx_.insert(db_rx_.end(), chunk.begin(), chunk.end());
+  while (db_rx_.size() >= 4) {
+    BinaryReader r({db_rx_.data(), 4});
+    const std::uint32_t len = r.u32();
+    if (db_rx_.size() - 4 < len) break;
+    db_rx_.erase(db_rx_.begin(), db_rx_.begin() + 4 + len);
+    db_responses_ += 1;
+  }
+}
+
+}  // namespace dvemig::dve

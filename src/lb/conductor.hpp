@@ -1,0 +1,114 @@
+// cond — the decentralized conductor daemon (Section IV).
+//
+// Each node's conductor periodically broadcasts its load on the cluster network
+// (information policy + heartbeat + discovery), maintains an approximation of the
+// whole cluster's load from peers' broadcasts, and — when the transfer policy
+// fires — picks a destination (location policy) and a process (selection policy),
+// negotiates with the destination via a two-phase offer/accept exchange (a receiver
+// participates in at most one migration at a time), and instructs the local migd.
+// After a migration both ends enter a calm-down period.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "src/lb/load_monitor.hpp"
+#include "src/lb/policies.hpp"
+#include "src/mig/migd.hpp"
+
+namespace dvemig::lb {
+
+inline constexpr net::Port kCondPort = 7002;
+
+class Conductor {
+ public:
+  using MigrationFn = std::function<void(const mig::MigrationStats&)>;
+
+  Conductor(proc::Node& node, mig::Migd& migd, PolicyConfig cfg = {});
+
+  /// Join the cluster: bind the control socket, start broadcasting and evaluating.
+  void start();
+  /// Leave the cluster (stop heartbeats; peers time the node out).
+  void stop();
+
+  /// Master switch for the balancing logic (heartbeats continue either way, so a
+  /// disabled conductor still feeds peers' cluster-average estimates).
+  void set_enabled(bool v) { enabled_ = v; }
+  void set_strategy(mig::SocketMigStrategy s) { strategy_ = s; }
+  void set_on_migration(MigrationFn fn) { on_migration_ = std::move(fn); }
+
+  double cluster_average() const;
+  std::size_t known_peers() const { return peers_.size(); }
+  const PolicyConfig& config() const { return cfg_; }
+
+  std::uint64_t migrations_initiated() const { return initiated_; }
+  std::uint64_t offers_accepted() const { return accepted_; }
+  std::uint64_t offers_rejected() const { return rejected_; }
+  std::uint64_t solicits_sent() const { return solicits_sent_; }
+
+ private:
+  enum class MsgType : std::uint8_t {
+    load_info = 1,
+    mig_offer = 2,
+    mig_accept = 3,
+    mig_reject = 4,
+    mig_release = 5,
+    mig_solicit = 6,  // receiver-initiated: "I'm underloaded, send me work"
+  };
+
+  struct PeerState {
+    LoadInfo info;
+    SimTime last_seen{};
+  };
+
+  struct PendingOffer {
+    std::uint64_t offer_id{0};
+    net::Ipv4Addr dest{};
+    Pid pid{};
+  };
+
+  sim::Engine& engine() const { return node_->engine(); }
+  void on_readable();
+  void heartbeat();
+  void evaluate();
+  void handle_load_info(const LoadInfo& info);
+  void handle_offer(net::Endpoint from, std::uint64_t offer_id, double est_cores);
+  void handle_solicit(net::Endpoint from);
+  /// Sender-side negotiation toward a specific (or policy-chosen) destination.
+  void try_offer(std::optional<net::Ipv4Addr> forced_dest);
+  void handle_accept(std::uint64_t offer_id);
+  void handle_reject(std::uint64_t offer_id);
+  void handle_release();
+  void send_ctrl(net::Ipv4Addr to, MsgType type, std::uint64_t offer_id,
+                 double value = 0);
+  std::vector<PeerView> fresh_peers() const;
+  bool calm() const { return engine().now() < calm_until_; }
+
+  proc::Node* node_;
+  mig::Migd* migd_;
+  LoadMonitor monitor_;
+  PolicyConfig cfg_;
+  mig::SocketMigStrategy strategy_{mig::SocketMigStrategy::incremental_collective};
+  bool enabled_{true};
+  bool running_{false};
+
+  std::shared_ptr<stack::UdpSocket> sock_;
+  sim::TimerHandle heartbeat_timer_;
+  sim::TimerHandle offer_timer_;
+  sim::TimerHandle receive_guard_timer_;
+
+  std::unordered_map<net::Ipv4Addr, PeerState> peers_;
+  std::optional<PendingOffer> pending_offer_;
+  bool receiving_busy_{false};
+  SimTime calm_until_{};
+
+  std::uint64_t next_offer_id_{0};
+  std::uint64_t initiated_{0};
+  std::uint64_t accepted_{0};
+  std::uint64_t rejected_{0};
+  std::uint64_t solicits_sent_{0};
+  MigrationFn on_migration_;
+};
+
+}  // namespace dvemig::lb

@@ -1,0 +1,27 @@
+#include "src/lb/load_info.hpp"
+
+namespace dvemig::lb {
+
+void LoadInfo::serialize(BinaryWriter& w) const {
+  w.u32(node_local.value);
+  w.u32(node_key);
+  w.f64(utilization);
+  w.f64(demand);
+  w.f64(capacity_cores);
+  w.u32(process_count);
+  w.i64(sent_at_ns);
+}
+
+LoadInfo LoadInfo::deserialize(BinaryReader& r) {
+  LoadInfo info;
+  info.node_local.value = r.u32();
+  info.node_key = r.u32();
+  info.utilization = r.f64();
+  info.demand = r.f64();
+  info.capacity_cores = r.f64();
+  info.process_count = r.u32();
+  info.sent_at_ns = r.i64();
+  return info;
+}
+
+}  // namespace dvemig::lb

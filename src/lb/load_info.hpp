@@ -1,0 +1,31 @@
+// Load information exchanged by the conductor daemons (information policy,
+// Section IV-D: periodic broadcast doubling as a heartbeat).
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/serial.hpp"
+#include "src/common/types.hpp"
+#include "src/net/address.hpp"
+
+namespace dvemig::lb {
+
+struct LoadInfo {
+  net::Ipv4Addr node_local{};  // sender's cluster-local address
+  std::uint32_t node_key{0};   // NodeId, for logging
+  double utilization{0};       // capped [0, 1]
+  double demand{0};            // uncapped
+  double capacity_cores{0};
+  std::uint32_t process_count{0};
+  std::int64_t sent_at_ns{0};
+
+  void serialize(BinaryWriter& w) const;
+  static LoadInfo deserialize(BinaryReader& r);
+};
+
+struct ProcessLoad {
+  Pid pid{};
+  double cores{0};
+};
+
+}  // namespace dvemig::lb

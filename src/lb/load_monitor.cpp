@@ -1,0 +1,26 @@
+#include "src/lb/load_monitor.hpp"
+
+namespace dvemig::lb {
+
+std::vector<ProcessLoad> LoadMonitor::process_loads() const {
+  std::vector<ProcessLoad> loads;
+  for (const auto& [pid, cores] : node_->cpu().per_process_cores()) {
+    if (node_->find(pid) == nullptr) continue;  // kernel work or departed process
+    loads.push_back(ProcessLoad{pid, cores});
+  }
+  return loads;
+}
+
+LoadInfo LoadMonitor::snapshot(std::uint32_t node_key) const {
+  LoadInfo info;
+  info.node_local = node_->local_addr();
+  info.node_key = node_key;
+  info.utilization = node_utilization();
+  info.demand = node_demand();
+  info.capacity_cores = capacity_cores();
+  info.process_count = static_cast<std::uint32_t>(node_->processes().size());
+  info.sent_at_ns = node_->engine().now().ns;
+  return info;
+}
+
+}  // namespace dvemig::lb

@@ -1,0 +1,31 @@
+// The conductor's view of local resource consumption — the role atop plays in the
+// paper (Section IV: "the conductor retrieves load information via the atop
+// utility").
+#pragma once
+
+#include <vector>
+
+#include "src/lb/load_info.hpp"
+#include "src/proc/node.hpp"
+
+namespace dvemig::lb {
+
+class LoadMonitor {
+ public:
+  explicit LoadMonitor(proc::Node& node) : node_(&node) {}
+
+  double node_utilization() const { return node_->cpu().node_utilization(); }
+  double node_demand() const { return node_->cpu().node_demand(); }
+  double capacity_cores() const { return node_->cpu().capacity_cores(); }
+
+  /// Per-process CPU consumption over the last window, restricted to processes
+  /// that actually exist on the node (filters out kernel-side accounting).
+  std::vector<ProcessLoad> process_loads() const;
+
+  LoadInfo snapshot(std::uint32_t node_key) const;
+
+ private:
+  proc::Node* node_;
+};
+
+}  // namespace dvemig::lb

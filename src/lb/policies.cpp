@@ -1,0 +1,67 @@
+#include "src/lb/policies.hpp"
+
+#include <cmath>
+
+namespace dvemig::lb {
+
+bool should_initiate(double local_util, double cluster_avg, const PolicyConfig& cfg) {
+  if (local_util > cfg.overload_threshold) return true;
+  return local_util - cluster_avg > cfg.imbalance_threshold;
+}
+
+bool should_solicit(double local_util, double cluster_avg, const PolicyConfig& cfg) {
+  return cluster_avg - local_util > cfg.imbalance_threshold;
+}
+
+std::optional<net::Ipv4Addr> choose_solicit_target(double cluster_avg,
+                                                   const std::vector<PeerView>& peers) {
+  std::optional<net::Ipv4Addr> best;
+  double best_util = cluster_avg;  // only peers above the average qualify
+  for (const PeerView& peer : peers) {
+    if (peer.utilization > best_util) {
+      best = peer.addr;
+      best_util = peer.utilization;
+    }
+  }
+  return best;
+}
+
+std::optional<net::Ipv4Addr> choose_destination(double local_util, double cluster_avg,
+                                                const std::vector<PeerView>& peers,
+                                                const PolicyConfig& cfg) {
+  (void)cfg;
+  // Target: a node as far below the average as we are above it, so that moving
+  // roughly (local - avg) worth of load makes both sides meet at the mean.
+  const double target = cluster_avg - (local_util - cluster_avg);
+  std::optional<net::Ipv4Addr> best;
+  double best_dist = 0;
+  for (const PeerView& peer : peers) {
+    if (peer.utilization >= cluster_avg) continue;  // only the lighter side
+    const double dist = std::abs(peer.utilization - target);
+    if (!best || dist < best_dist) {
+      best = peer.addr;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+std::optional<Pid> choose_process(double local_util, double cluster_avg,
+                                  double capacity_cores,
+                                  const std::vector<ProcessLoad>& processes,
+                                  const PolicyConfig& cfg) {
+  const double excess_cores = (local_util - cluster_avg) * capacity_cores;
+  std::optional<Pid> best;
+  double best_dist = 0;
+  for (const ProcessLoad& p : processes) {
+    if (p.cores < cfg.min_process_cores) continue;
+    const double dist = std::abs(p.cores - excess_cores);
+    if (!best || dist < best_dist) {
+      best = p.pid;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+}  // namespace dvemig::lb

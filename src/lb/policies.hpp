@@ -1,0 +1,70 @@
+// The four load-balancing policies (Section IV), as pure, unit-testable functions.
+//
+//  transfer  — threshold-driven sender initiation: a node becomes a migration
+//              initiator when its load exceeds a critical threshold or diverges
+//              from the approximated cluster average by more than a margin;
+//  location  — find a peer whose load sits on the *opposite side* of the cluster
+//              average by about the same amount, so both converge to the mean;
+//  selection — pick the process whose CPU consumption best matches the local
+//              node's excess over the cluster average;
+//  information — periodic broadcast (implemented by the conductor itself).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/lb/load_info.hpp"
+
+namespace dvemig::lb {
+
+/// Who starts a migration negotiation (the taxonomy of the paper's reference
+/// [17], Shivaratri/Krueger/Singhal): the paper's algorithm is sender-initiated;
+/// the other two are provided as drop-in variants.
+enum class Initiation : std::uint8_t {
+  sender,    // overloaded nodes push work away (the paper's choice)
+  receiver,  // underloaded nodes solicit work from loaded peers
+  symmetric, // both
+};
+
+struct PolicyConfig {
+  Initiation initiation{Initiation::sender};
+  double overload_threshold{0.90};   // "local load is over a critical threshold"
+  double imbalance_threshold{0.12};  // "difference ... exceeds a certain value"
+  SimDuration heartbeat{SimTime::seconds(1)};
+  SimDuration peer_timeout{SimTime::seconds(5)};
+  SimDuration calm_down{SimTime::seconds(10)};  // post-migration stabilisation
+  SimDuration offer_timeout{SimTime::milliseconds(500)};
+  double min_process_cores{0.02};  // don't bother migrating near-idle processes
+};
+
+struct PeerView {
+  net::Ipv4Addr addr{};
+  double utilization{0};
+};
+
+/// Transfer policy, sender side.
+bool should_initiate(double local_util, double cluster_avg, const PolicyConfig& cfg);
+
+/// Transfer policy, receiver side (receiver-initiated variants): true when this
+/// node is underloaded enough to go looking for work.
+bool should_solicit(double local_util, double cluster_avg, const PolicyConfig& cfg);
+
+/// Location policy for solicitation: the most loaded peer above the average.
+std::optional<net::Ipv4Addr> choose_solicit_target(double cluster_avg,
+                                                   const std::vector<PeerView>& peers);
+
+/// Location policy: the peer whose load is closest to (avg - (local - avg)),
+/// restricted to peers below the average. Empty if no suitable peer exists.
+std::optional<net::Ipv4Addr> choose_destination(double local_util, double cluster_avg,
+                                                const std::vector<PeerView>& peers,
+                                                const PolicyConfig& cfg);
+
+/// Selection policy: the process whose CPU usage best matches the node's excess
+/// (local - avg) * capacity cores. Empty if nothing migratable is worth moving.
+std::optional<Pid> choose_process(double local_util, double cluster_avg,
+                                  double capacity_cores,
+                                  const std::vector<ProcessLoad>& processes,
+                                  const PolicyConfig& cfg);
+
+}  // namespace dvemig::lb

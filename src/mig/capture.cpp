@@ -1,0 +1,77 @@
+#include "src/mig/capture.hpp"
+
+namespace dvemig::mig {
+
+std::uint64_t CaptureManager::begin_session() {
+  const std::uint64_t id = ++next_session_;
+  sessions_.emplace(id, Session{});
+  update_hook();
+  return id;
+}
+
+void CaptureManager::add_spec(std::uint64_t session, CaptureSpec spec) {
+  const auto it = sessions_.find(session);
+  DVEMIG_EXPECTS(it != sessions_.end());
+  it->second.specs.push_back(spec);
+}
+
+std::size_t CaptureManager::finish_session(std::uint64_t session) {
+  const auto it = sessions_.find(session);
+  DVEMIG_EXPECTS(it != sessions_.end());
+  std::vector<net::Packet> queue = std::move(it->second.queue);
+  sessions_.erase(it);
+  update_hook();
+  // Reinjection phase (Section V-B): each packet is submitted back to the stack
+  // via the okfn() equivalent, in arrival order.
+  for (net::Packet& p : queue) stack_->reinject(std::move(p));
+  return queue.size();
+}
+
+void CaptureManager::abort_session(std::uint64_t session) {
+  sessions_.erase(session);
+  update_hook();
+}
+
+std::size_t CaptureManager::total_specs() const {
+  std::size_t n = 0;
+  for (const auto& [id, session] : sessions_) n += session.specs.size();
+  return n;
+}
+
+std::size_t CaptureManager::queued(std::uint64_t session) const {
+  const auto it = sessions_.find(session);
+  return it == sessions_.end() ? 0 : it->second.queue.size();
+}
+
+void CaptureManager::update_hook() {
+  if (sessions_.empty()) {
+    hook_.release();
+    return;
+  }
+  if (hook_.registered()) return;
+  hook_ = stack_->netfilter().register_hook(
+      stack::Hook::local_in, /*priority=*/0,
+      [this](net::Packet& p) { return on_local_in(p); });
+}
+
+stack::Verdict CaptureManager::on_local_in(net::Packet& p) {
+  for (auto& [id, session] : sessions_) {
+    for (const CaptureSpec& spec : session.specs) {
+      if (!spec.matches(p)) continue;
+      if (p.proto == net::IpProto::tcp) {
+        const auto key = std::make_tuple(p.src.value, p.tcp.sport, p.tcp.dport,
+                                         p.tcp.seq);
+        if (!session.seen_tcp.insert(key).second) {
+          total_deduplicated_ += 1;
+          return stack::Verdict::stolen;  // duplicate stored only once
+        }
+      }
+      total_captured_ += 1;
+      session.queue.push_back(p);
+      return stack::Verdict::stolen;
+    }
+  }
+  return stack::Verdict::accept;
+}
+
+}  // namespace dvemig::mig

@@ -1,0 +1,65 @@
+// Incoming packet-loss prevention (Sections III-B, V-B).
+//
+// The destination node installs a NF_INET_LOCAL_IN hook matching the migrating
+// sockets' (remote IP, remote port, local port). Matching packets are *stolen* and
+// queued while the socket is down; TCP packets are deduplicated by sequence number.
+// After the socket is restored, the queue is reinjected through the stack's okfn()
+// equivalent (NetStack::reinject), bypassing the hook itself.
+//
+// This works only because the single-IP router broadcasts every incoming packet to
+// every node: the destination hears the client before it owns the socket.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mig/socket_image.hpp"
+#include "src/stack/net_stack.hpp"
+
+namespace dvemig::mig {
+
+class CaptureManager {
+ public:
+  explicit CaptureManager(stack::NetStack& stack) : stack_(&stack) {}
+
+  /// Open a capture session (one per in-flight migration). Specs can be added
+  /// incrementally (the iterative strategy adds them one socket at a time).
+  std::uint64_t begin_session();
+  void add_spec(std::uint64_t session, CaptureSpec spec);
+
+  /// Reinject every captured packet in arrival order and tear down the session.
+  /// Returns the number of packets reinjected.
+  std::size_t finish_session(std::uint64_t session);
+
+  /// Tear down without reinjection (failed migration).
+  void abort_session(std::uint64_t session);
+
+  std::size_t queued(std::uint64_t session) const;
+  std::size_t active_sessions() const { return sessions_.size(); }
+  std::size_t total_specs() const;
+  std::uint64_t total_captured() const { return total_captured_; }
+  std::uint64_t total_deduplicated() const { return total_deduplicated_; }
+
+ private:
+  struct Session {
+    std::vector<CaptureSpec> specs;
+    std::vector<net::Packet> queue;
+    // TCP dedup: (remote addr, remote port, local port, seq) seen so far.
+    std::set<std::tuple<std::uint32_t, std::uint16_t, std::uint16_t, std::uint32_t>>
+        seen_tcp;
+  };
+
+  stack::Verdict on_local_in(net::Packet& p);
+  void update_hook();
+
+  stack::NetStack* stack_;
+  std::unordered_map<std::uint64_t, Session> sessions_;
+  std::uint64_t next_session_{0};
+  stack::HookHandle hook_;
+  std::uint64_t total_captured_{0};
+  std::uint64_t total_deduplicated_{0};
+};
+
+}  // namespace dvemig::mig

@@ -1,0 +1,102 @@
+#include "src/mig/delta_tracker.hpp"
+
+namespace dvemig::mig {
+
+namespace {
+
+std::uint64_t hash_buffer(const BinaryWriter& w) {
+  return fnv1a({w.buffer().data(), w.buffer().size()});
+}
+
+}  // namespace
+
+SectionFlags SocketDeltaTracker::emit_tcp(const TcpImage& img, BinaryWriter& out,
+                                          bool force_all) {
+  BinaryWriter stat, dyn, queues;
+  img.serialize_static(stat);
+  img.serialize_dynamic(dyn);
+  img.serialize_queues(queues);
+  const std::uint64_t sh = hash_buffer(stat);
+  const std::uint64_t dh = hash_buffer(dyn);
+  const std::uint64_t qh = hash_buffer(queues);
+
+  Entry& e = entries_[img.src_sock_key];
+  SectionFlags flags = SectionFlags::none;
+  if (force_all || !e.have || sh != e.stat_hash) flags = flags | SectionFlags::stat;
+  if (force_all || !e.have || dh != e.dyn_hash) flags = flags | SectionFlags::dyn;
+  if (force_all || !e.have || qh != e.queues_hash) flags = flags | SectionFlags::queues;
+  e.have = true;
+  e.stat_hash = sh;
+  e.dyn_hash = dh;
+  e.queues_hash = qh;
+
+  if (flags == SectionFlags::none) return flags;
+  out.u8(static_cast<std::uint8_t>(net::IpProto::tcp));
+  out.u64(img.src_sock_key);
+  out.u8(static_cast<std::uint8_t>(flags));
+  if (flags & SectionFlags::stat) out.bytes(stat.buffer());
+  if (flags & SectionFlags::dyn) out.bytes(dyn.buffer());
+  if (flags & SectionFlags::queues) out.bytes(queues.buffer());
+  return flags;
+}
+
+SectionFlags SocketDeltaTracker::emit_udp(const UdpImage& img, BinaryWriter& out,
+                                          bool force_all) {
+  BinaryWriter stat, queues;
+  img.serialize_static(stat);
+  img.serialize_queues(queues);
+  const std::uint64_t sh = hash_buffer(stat);
+  const std::uint64_t qh = hash_buffer(queues);
+
+  Entry& e = entries_[img.src_sock_key];
+  SectionFlags flags = SectionFlags::none;
+  if (force_all || !e.have || sh != e.stat_hash) flags = flags | SectionFlags::stat;
+  if (force_all || !e.have || qh != e.queues_hash) flags = flags | SectionFlags::queues;
+  e.have = true;
+  e.stat_hash = sh;
+  e.queues_hash = qh;
+
+  if (flags == SectionFlags::none) return flags;
+  out.u8(static_cast<std::uint8_t>(net::IpProto::udp));
+  out.u64(img.src_sock_key);
+  out.u8(static_cast<std::uint8_t>(flags));
+  if (flags & SectionFlags::stat) out.bytes(stat.buffer());
+  if (flags & SectionFlags::queues) out.bytes(queues.buffer());
+  return flags;
+}
+
+void SocketDeltaTracker::drop(std::uint64_t key) { entries_.erase(key); }
+
+void read_socket_record(BinaryReader& r, SocketStaging& staging) {
+  const auto proto = static_cast<net::IpProto>(r.u8());
+  const std::uint64_t key = r.u64();
+  const auto flags = static_cast<SectionFlags>(r.u8());
+
+  StagedSocket& staged = staging[key];
+  staged.proto = proto;
+  if (proto == net::IpProto::tcp) {
+    if (flags & SectionFlags::stat) {
+      staged.tcp.deserialize_static(r);
+      staged.have_static = true;
+    }
+    if (flags & SectionFlags::dyn) {
+      staged.tcp.deserialize_dynamic(r);
+      staged.have_dynamic = true;
+    }
+    if (flags & SectionFlags::queues) {
+      staged.tcp.deserialize_queues(r);
+      staged.have_queues = true;
+    }
+  } else {
+    if (flags & SectionFlags::stat) {
+      staged.udp.deserialize_static(r);
+      staged.have_static = true;
+    }
+    if (flags & SectionFlags::queues) {
+      staged.udp.deserialize_queues(r);
+      staged.have_queues = true;
+    }
+  }
+}
+
+}  // namespace dvemig::mig

@@ -1,0 +1,807 @@
+#include "src/mig/migd.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/log.hpp"
+
+namespace dvemig::mig {
+
+namespace {
+
+/// Pseudo-pid used to charge kernel-side migration work to the CPU meter.
+constexpr Pid kKernelPid{1};
+
+/// Disable a socket for migration: unhash from the lookup tables, clear timers,
+/// stop transmission (Section V-C: "unhashing it from both the ehash and bhash
+/// kernel hashtables and clearing the retransmission timer").
+void disable_socket(stack::NetStack& st, stack::Socket& sock) {
+  if (sock.type() == stack::SocketType::tcp) {
+    auto& tcp = static_cast<stack::TcpSocket&>(sock);
+    tcp.clear_timers();
+    if (tcp.hashed_established()) {
+      st.table().ehash_remove(stack::FourTuple{tcp.local(), tcp.remote()});
+      tcp.set_hashed_established(false);
+    }
+    if (tcp.hashed_bound()) {
+      st.table().bhash_remove(tcp, tcp.local().port);
+      tcp.set_hashed_bound(false);
+    }
+    for (const auto& child : tcp.accept_queue()) disable_socket(st, *child);
+  } else {
+    auto& udp = static_cast<stack::UdpSocket&>(sock);
+    if (udp.cb().bound && !udp.migration_disabled()) {
+      st.table().bhash_remove(udp, udp.local().port);
+      // cb().bound stays true: it is part of the state image.
+    }
+  }
+  sock.set_migration_disabled(true);
+  st.dst_cache_drop(sock.sock_id());
+}
+
+/// A TCP socket is skippable in a precopy round if the user currently holds it
+/// (Section V-C1: "the socket tracking mechanism during the precopy phase simply
+/// omits sockets that are locked or being used for fast-path receiving").
+bool tcp_busy(const stack::TcpSocket& tcp) {
+  const auto& cb = tcp.cb();
+  return cb.user_locked || cb.blocked_reader || !cb.backlog.empty() ||
+         !cb.prequeue.empty();
+}
+
+}  // namespace
+
+const char* strategy_name(SocketMigStrategy s) {
+  switch (s) {
+    case SocketMigStrategy::iterative: return "iterative";
+    case SocketMigStrategy::collective: return "collective";
+    case SocketMigStrategy::incremental_collective: return "incremental-collective";
+  }
+  return "?";
+}
+
+// ==================================================================== Transd
+
+Transd::Transd(proc::Node& node, TranslationManager& translation, CostModel cm)
+    : node_(&node), translation_(&translation), cm_(cm) {}
+
+void Transd::start() {
+  sock_ = node_->stack().make_udp();
+  sock_->bind(node_->local_addr(), kTransdPort);
+  sock_->set_on_readable([this] { on_readable(); });
+}
+
+void Transd::on_readable() {
+  while (auto dgram = sock_->recv()) {
+    BinaryReader r(dgram->data);
+    const std::uint64_t req_id = r.u64();
+    TranslationRule rule = TranslationRule::deserialize(r);
+    const net::Endpoint requester = dgram->from;
+    // Installing the filter takes kernel work; the ack follows it.
+    node_->engine().schedule_after(
+        SimTime::nanoseconds(cm_.translation_install_ns),
+        [this, rule, req_id, requester] {
+          node_->cpu().account(kKernelPid,
+                               SimTime::nanoseconds(cm_.translation_install_ns));
+          translation_->install(rule, fix_dst_cache_);
+          served_ += 1;
+          BinaryWriter ack;
+          ack.u64(req_id);
+          sock_->send_to(requester, ack.take());
+        });
+  }
+}
+
+// ==================================================================== sessions
+
+class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSession> {
+ public:
+  SourceSession(Migd& owner, std::shared_ptr<proc::Process> proc,
+                net::Ipv4Addr dest, MigrateOptions options)
+      : owner_(&owner), node_(&owner.node()), proc_(std::move(proc)), dest_(dest) {
+    stats_.pid = proc_->pid();
+    stats_.proc_name = proc_->name();
+    stats_.strategy = options.strategy;
+    stats_.live = options.live;
+    stats_.src_node = node_->local_addr();
+    stats_.dst_node = dest;
+    loop_timeout_ns_ = owner_->cm_.initial_loop_timeout_ns;
+  }
+
+  void begin() {
+    stats_.t_start = engine().now();
+    ctrl_ = node_->stack().make_udp();
+    ctrl_->bind(node_->local_addr(), 0);
+    ctrl_->set_on_readable([self = shared_from_this()] { self->on_ctrl_readable(); });
+
+    sock_ = node_->stack().make_tcp();
+    sock_->bind(node_->local_addr(), 0);
+    sock_->set_on_connected([self = shared_from_this()] { self->on_connected(); });
+    sock_->set_on_reset([self = shared_from_this()] { self->fail("connection reset"); });
+    sock_->connect(net::Endpoint{dest_, kMigdPort});
+    // Destinations without a reachable migd never answer the SYN; give up.
+    connect_timer_ = engine().schedule_after(
+        SimTime::seconds(2), [self = shared_from_this()] {
+          if (self->sock_->state() != stack::TcpState::established) {
+            self->sock_->abort();
+            self->fail("destination migd unreachable");
+          }
+        });
+  }
+
+  MigrationStats& stats() { return stats_; }
+
+ private:
+  struct MigSocket {
+    Fd fd;
+    std::shared_ptr<stack::Socket> sock;
+    bool in_cluster{false};       // local addr is this node's cluster address
+    bool translatable{false};     // connected in-cluster socket needing a filter
+    net::Endpoint orig_remote{};  // remote endpoint as stored in the socket
+    net::Endpoint effective_remote{};  // where the peer actually lives now
+  };
+
+  sim::Engine& engine() const { return node_->engine(); }
+  const CostModel& cm() const { return owner_->cm_; }
+
+  /// Spend `d` of (kernel/helper-thread) CPU, then continue.
+  void after(SimDuration d, std::function<void()> fn) {
+    node_->cpu().account(kKernelPid, d);
+    engine().schedule_after(d, [self = shared_from_this(), fn = std::move(fn)] {
+      (void)self;
+      fn();
+    });
+  }
+
+  void fail(const std::string& why) {
+    DVEMIG_WARN("migd", "migration of pid %u failed: %s", stats_.pid.value,
+                why.c_str());
+    if (proc_->frozen()) proc_->resume();  // best effort: keep the source alive
+    stats_.success = false;
+    owner_->source_finished(stats_);
+  }
+
+  void on_connected() {
+    channel_ = std::make_unique<FrameChannel>(sock_);
+    channel_->set_on_frame(
+        [self = shared_from_this()](MsgType t, BinaryReader& r) {
+          self->on_frame(t, r);
+        });
+    BinaryWriter w;
+    w.u32(stats_.pid.value);
+    w.str(proc_->name());
+    w.u8(static_cast<std::uint8_t>(stats_.strategy));
+    w.u32(node_->local_addr().value);
+    channel_->send(MsgType::mig_begin, std::move(w));
+    connect_timer_.cancel();
+    if (stats_.live) {
+      precopy_round();
+    } else {
+      // Stop-and-copy: no precopy — the process is down for the whole transfer
+      // (the first tracker round inside the freeze ships the entire image).
+      enter_freeze();
+    }
+  }
+
+  void on_frame(MsgType type, BinaryReader& r) {
+    switch (type) {
+      case MsgType::capture_enabled:
+        if (on_capture_enabled_) std::exchange(on_capture_enabled_, nullptr)();
+        return;
+      case MsgType::socket_ack:
+        if (on_socket_ack_) std::exchange(on_socket_ack_, nullptr)();
+        return;
+      case MsgType::resume_done: {
+        stats_.t_resume = SimTime::nanoseconds(r.i64());
+        stats_.captured = r.u64();
+        stats_.reinjected = r.u64();
+        finish();
+        return;
+      }
+      case MsgType::mig_abort:
+        fail("aborted by destination");
+        return;
+      default:
+        fail("unexpected frame");
+        return;
+    }
+  }
+
+  // ---------------- precopy ----------------
+
+  void precopy_round() {
+    ckpt::MemoryDelta delta = mem_tracker_.round(proc_->mem());
+    SimDuration cost = SimTime::nanoseconds(
+        static_cast<std::int64_t>(delta.dirty_pages.size()) * cm().page_copy_ns);
+
+    // Incremental collective: track socket changes during precopy as well.
+    BinaryWriter sock_buf;
+    std::uint32_t sock_records = 0;
+    if (stats_.strategy == SocketMigStrategy::incremental_collective) {
+      std::size_t scanned = 0;
+      for (const auto& [fd, file] : proc_->files().entries()) {
+        if (file.kind != proc::FileKind::socket) continue;
+        scanned += 1;
+        if (file.socket->type() == stack::SocketType::tcp) {
+          const auto& tcp = static_cast<const stack::TcpSocket&>(*file.socket);
+          if (tcp_busy(tcp)) continue;  // leave for a later loop or the freeze
+          if (sock_tracker_.emit_tcp(extract_tcp(tcp, fd), sock_buf, false) !=
+              SectionFlags::none) {
+            sock_records += 1;
+          }
+        } else {
+          const auto& udp = static_cast<const stack::UdpSocket&>(*file.socket);
+          if (sock_tracker_.emit_udp(extract_udp(udp, fd), sock_buf, false) !=
+              SectionFlags::none) {
+            sock_records += 1;
+          }
+        }
+      }
+      cost += SimTime::nanoseconds(
+          static_cast<std::int64_t>(scanned) * cm().socket_delta_check_ns +
+          static_cast<std::int64_t>(static_cast<double>(sock_buf.size()) *
+                                    cm().per_byte_subtract_ns));
+    }
+
+    after(cost, [this, delta = std::move(delta), sock_buf = std::move(sock_buf),
+                 sock_records]() mutable {
+      BinaryWriter w;
+      delta.serialize(w);
+      channel_->send(MsgType::memory_delta, std::move(w));
+      if (sock_records > 0) {
+        BinaryWriter w2;
+        w2.u32(sock_records);
+        w2.bytes(sock_buf.buffer());
+        stats_.precopy_socket_bytes += w2.size();
+        channel_->send(MsgType::socket_state, std::move(w2));
+      }
+      stats_.precopy_rounds += 1;
+      DVEMIG_DEBUG("migd", "pid %u precopy round %d: %zu dirty pages, %u socket "
+                   "records, next timeout %.1f ms",
+                   stats_.pid.value, stats_.precopy_rounds,
+                   delta.dirty_pages.size(), sock_records,
+                   static_cast<double>(loop_timeout_ns_) / 1e6);
+
+      const bool last = loop_timeout_ns_ <= cm().freeze_threshold_ns ||
+                        stats_.precopy_rounds >= cm().max_precopy_rounds;
+      const SimDuration wait = SimTime::nanoseconds(loop_timeout_ns_);
+      loop_timeout_ns_ = static_cast<std::int64_t>(
+          static_cast<double>(loop_timeout_ns_) * cm().loop_decay);
+      // Pace the loop on transfer completion: the timeout window starts once
+      // this round's data has actually reached the destination. Otherwise
+      // successive rounds pile up in the channel's send queue and the freeze
+      // phase's tiny control messages crawl out behind megabytes of pages.
+      wait_for_drain([self = shared_from_this(), wait, last] {
+        self->engine().schedule_after(wait, [self, last] {
+          if (last) {
+            self->enter_freeze();
+          } else {
+            self->precopy_round();
+          }
+        });
+      });
+    });
+  }
+
+  void wait_for_drain(std::function<void()> fn) {
+    if (sock_->drained()) {
+      fn();
+      return;
+    }
+    sock_->set_on_drained([self = shared_from_this(), fn = std::move(fn)] {
+      self->sock_->set_on_drained(nullptr);
+      fn();
+    });
+  }
+
+  // ---------------- freeze ----------------
+
+  void enter_freeze() {
+    DVEMIG_DEBUG("migd", "pid %u entering freeze at %.3f ms", stats_.pid.value,
+                 engine().now().to_ms());
+    stats_.t_freeze_begin = engine().now();
+    stats_.precopy_channel_bytes = channel_->bytes_sent();
+    proc_->freeze();
+
+    // Gather the fd-ordered socket list (BLCR's fd table iteration).
+    sockets_.clear();
+    for (const auto& [fd, file] : proc_->files().entries()) {
+      if (file.kind != proc::FileKind::socket) continue;
+      MigSocket ms;
+      ms.fd = fd;
+      ms.sock = file.socket;
+      ms.in_cluster = ms.sock->local().addr == node_->local_addr();
+      ms.orig_remote = ms.sock->remote();
+      ms.effective_remote = ms.orig_remote;
+      if (ms.sock->type() == stack::SocketType::tcp) {
+        const auto& tcp = static_cast<const stack::TcpSocket&>(*ms.sock);
+        ms.translatable = ms.in_cluster && tcp.cb().state != stack::TcpState::listen;
+      } else {
+        ms.translatable =
+            ms.in_cluster && static_cast<const stack::UdpSocket&>(*ms.sock).cb().connected;
+      }
+      if (ms.translatable) {
+        // Mutual-migration support: if the peer of this connection migrated
+        // earlier, a local translation rule knows its current host; the new
+        // filter, the capture specs and the restored socket must all target
+        // that host, not the connection's original address.
+        if (const auto rule = owner_->translation_.find_rule(ms.sock->local(),
+                                                             ms.orig_remote)) {
+          ms.effective_remote.addr = rule->mig_new_addr;
+        }
+      }
+      sockets_.push_back(std::move(ms));
+    }
+    stats_.socket_count = sockets_.size();
+
+    after(SimTime::nanoseconds(cm().signal_roundtrip_ns), [this] {
+      if (stats_.strategy == SocketMigStrategy::iterative) {
+        iter_idx_ = 0;
+        iterative_next();
+      } else {
+        collective_capture();
+      }
+    });
+  }
+
+  std::vector<CaptureSpec> specs_for(const MigSocket& ms) const {
+    std::vector<CaptureSpec> specs;
+    if (ms.sock->type() == stack::SocketType::tcp) {
+      specs = capture_specs_for_tcp(static_cast<const stack::TcpSocket&>(*ms.sock));
+    } else {
+      specs = {capture_spec_for_udp(static_cast<const stack::UdpSocket&>(*ms.sock))};
+    }
+    if (ms.effective_remote != ms.orig_remote) {
+      for (CaptureSpec& spec : specs) {
+        if (spec.match_remote && spec.remote == ms.orig_remote) {
+          spec.remote = ms.effective_remote;
+        }
+      }
+    }
+    return specs;
+  }
+
+  void send_capture_request(const std::vector<CaptureSpec>& specs,
+                            std::function<void()> then) {
+    BinaryWriter w;
+    w.u32(static_cast<std::uint32_t>(specs.size()));
+    for (const CaptureSpec& s : specs) s.serialize(w);
+    on_capture_enabled_ = std::move(then);
+    channel_->send(MsgType::capture_request, std::move(w));
+  }
+
+  /// In-cluster connections need a translation filter on the peer before the
+  /// socket goes down (Section III-C ordering). The filter is installed on the
+  /// peer's *current* host (effective remote), which may itself be the result
+  /// of an earlier migration.
+  void request_translations(const std::vector<const MigSocket*>& socks,
+                            std::function<void()> then) {
+    DVEMIG_ASSERT(pending_trans_ == 0);
+    on_trans_done_ = std::move(then);
+    for (const MigSocket* ms : socks) {
+      if (!ms->translatable) continue;
+      TranslationRule rule;
+      rule.proto = ms->sock->type() == stack::SocketType::tcp ? net::IpProto::tcp
+                                                              : net::IpProto::udp;
+      rule.peer_local = ms->effective_remote;
+      rule.mig_old = ms->sock->local();
+      rule.mig_new_addr = dest_;
+      BinaryWriter w;
+      const std::uint64_t req = ++next_trans_req_;
+      w.u64(req);
+      rule.serialize(w);
+      pending_trans_ += 1;
+      ctrl_->send_to(net::Endpoint{ms->effective_remote.addr, kTransdPort}, w.take());
+    }
+    if (pending_trans_ == 0 && on_trans_done_) {
+      std::exchange(on_trans_done_, nullptr)();
+    }
+  }
+
+  /// Disable the socket and, for peers that moved, retarget the socket's remote
+  /// endpoint to the peer's current host before extraction.
+  void disable_for_migration(const MigSocket& ms) {
+    disable_socket(node_->stack(), *ms.sock);
+    if (ms.effective_remote != ms.orig_remote) {
+      if (ms.sock->type() == stack::SocketType::tcp) {
+        static_cast<stack::TcpSocket&>(*ms.sock)
+            .set_endpoints(ms.sock->local(), ms.effective_remote);
+      } else {
+        auto& udp = static_cast<stack::UdpSocket&>(*ms.sock);
+        udp.set_endpoints(udp.local(), ms.effective_remote, udp.cb().bound,
+                          udp.cb().connected);
+      }
+    }
+  }
+
+  void on_ctrl_readable() {
+    while (auto dgram = ctrl_->recv()) {
+      BinaryReader r(dgram->data);
+      (void)r.u64();  // req id; acks are counted, not matched individually
+      DVEMIG_ASSERT(pending_trans_ > 0);
+      pending_trans_ -= 1;
+      if (pending_trans_ == 0 && on_trans_done_) {
+        std::exchange(on_trans_done_, nullptr)();
+      }
+    }
+  }
+
+  /// Emit one socket's record. `force_all` distinguishes full dumps (iterative,
+  /// collective) from incremental deltas.
+  std::uint32_t emit_socket(const MigSocket& ms, BinaryWriter& out, bool force_all) {
+    if (ms.sock->type() == stack::SocketType::tcp) {
+      const auto& tcp = static_cast<const stack::TcpSocket&>(*ms.sock);
+      return sock_tracker_.emit_tcp(extract_tcp(tcp, ms.fd), out, force_all) !=
+                     SectionFlags::none
+                 ? 1
+                 : 0;
+    }
+    const auto& udp = static_cast<const stack::UdpSocket&>(*ms.sock);
+    return sock_tracker_.emit_udp(extract_udp(udp, ms.fd), out, force_all) !=
+                   SectionFlags::none
+               ? 1
+               : 0;
+  }
+
+  // Iterative: capture / translate / disable / subtract / dump / ack, one socket
+  // at a time — the repeated computation/transmission interleaving the paper
+  // identifies as the bottleneck.
+  void iterative_next() {
+    if (iter_idx_ == sockets_.size()) {
+      final_transfer();
+      return;
+    }
+    const std::size_t idx = iter_idx_;
+    send_capture_request(specs_for(sockets_[idx]), [this, idx] {
+      request_translations({&sockets_[idx]}, [this, idx] {
+        const MigSocket& ms = sockets_[idx];
+        disable_for_migration(ms);
+        BinaryWriter buf;
+        const std::uint32_t records = emit_socket(ms, buf, /*force_all=*/true);
+        const SimDuration cost = cm().subtract_cost(1, buf.size());
+        after(cost, [this, buf = std::move(buf), records]() mutable {
+          BinaryWriter w;
+          w.u32(records);
+          w.bytes(buf.buffer());
+          stats_.freeze_socket_bytes += w.size();
+          on_socket_ack_ = [this] {
+            iter_idx_ += 1;
+            iterative_next();
+          };
+          channel_->send(MsgType::socket_state, std::move(w));
+        });
+      });
+    });
+  }
+
+  // Collective (Section III-C three-phase): one capture request for everything,
+  // one unified state buffer, one transfer.
+  void collective_capture() {
+    std::vector<CaptureSpec> all;
+    for (const MigSocket& ms : sockets_) {
+      for (CaptureSpec& s : specs_for(ms)) all.push_back(s);
+    }
+    DVEMIG_DEBUG("migd", "pid %u collective capture: %zu specs for %zu sockets",
+                 stats_.pid.value, all.size(), sockets_.size());
+    send_capture_request(all, [this] {
+      std::vector<const MigSocket*> socks;
+      for (const MigSocket& ms : sockets_) socks.push_back(&ms);
+      DVEMIG_DEBUG("migd", "pid %u capture enabled; requesting translations",
+                   stats_.pid.value);
+      request_translations(socks, [this] { collective_subtract(); });
+    });
+  }
+
+  void collective_subtract() {
+    for (const MigSocket& ms : sockets_) disable_for_migration(ms);
+
+    const bool force = stats_.strategy == SocketMigStrategy::collective;
+    BinaryWriter buf;
+    std::uint32_t records = 0;
+    for (const MigSocket& ms : sockets_) records += emit_socket(ms, buf, force);
+
+    // Incremental tracking already paid the per-socket walk during precopy; the
+    // freeze-phase check is a cheap hash compare per socket.
+    const SimDuration cost =
+        force ? cm().subtract_cost(sockets_.size(), buf.size())
+              : SimTime::nanoseconds(
+                    static_cast<std::int64_t>(sockets_.size()) *
+                        cm().socket_delta_check_ns +
+                    static_cast<std::int64_t>(static_cast<double>(buf.size()) *
+                                              cm().per_byte_subtract_ns));
+    DVEMIG_DEBUG("migd", "pid %u subtract: %u records, %zu bytes", stats_.pid.value,
+                 records, buf.size());
+    after(cost, [this, buf = std::move(buf), records]() mutable {
+      if (records > 0) {
+        BinaryWriter w;
+        w.u32(records);
+        w.bytes(buf.buffer());
+        stats_.freeze_socket_bytes += w.size();
+        channel_->send(MsgType::socket_state, std::move(w));
+      }
+      final_transfer();
+    });
+  }
+
+  // Final incremental memory step + BLCR's regular fd-table iteration (process
+  // metadata, excluding the already-processed network connections).
+  void final_transfer() {
+    ckpt::MemoryDelta delta = mem_tracker_.round(proc_->mem());
+    const SimDuration cost = SimTime::nanoseconds(
+        static_cast<std::int64_t>(delta.dirty_pages.size()) * cm().page_copy_ns +
+        cm().process_meta_ns);
+    after(cost, [this, delta = std::move(delta)]() mutable {
+      BinaryWriter wm;
+      delta.serialize(wm);
+      channel_->send(MsgType::memory_delta, std::move(wm));
+
+      const ckpt::ProcessImage img = ckpt::snapshot_process(*proc_);
+      BinaryWriter wi;
+      img.serialize(wi);
+      channel_->send(MsgType::process_image, std::move(wi));
+      // Now await resume_done.
+    });
+  }
+
+  void finish() {
+    stats_.freeze_channel_bytes =
+        channel_->bytes_sent() - stats_.precopy_channel_bytes;
+    stats_.success = true;
+    // Rules that translated for the just-migrated sockets are now dead weight on
+    // this node (their subject no longer lives here): drop them.
+    for (const MigSocket& ms : sockets_) {
+      if (ms.translatable) {
+        owner_->translation_.remove_matching(ms.sock->local(), ms.orig_remote);
+      }
+    }
+    node_->kill(stats_.pid);
+    sock_->close();
+    ctrl_->close();
+    owner_->source_finished(stats_);
+  }
+
+  Migd* owner_;
+  proc::Node* node_;
+  std::shared_ptr<proc::Process> proc_;
+  net::Ipv4Addr dest_;
+  MigrationStats stats_;
+
+  stack::TcpSocket::Ptr sock_;
+  std::unique_ptr<FrameChannel> channel_;
+  std::shared_ptr<stack::UdpSocket> ctrl_;
+  sim::TimerHandle connect_timer_;
+
+  ckpt::DirtyTracker mem_tracker_;
+  SocketDeltaTracker sock_tracker_;
+  std::int64_t loop_timeout_ns_{0};
+
+  std::vector<MigSocket> sockets_;
+  std::size_t iter_idx_{0};
+  int pending_trans_{0};
+  std::uint64_t next_trans_req_{0};
+
+  std::function<void()> on_capture_enabled_;
+  std::function<void()> on_socket_ack_;
+  std::function<void()> on_trans_done_;
+};
+
+// -------------------------------------------------------------- DestSession
+
+class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession> {
+ public:
+  DestSession(Migd& owner, stack::TcpSocket::Ptr conn)
+      : owner_(&owner), node_(&owner.node()), sock_(std::move(conn)) {}
+
+  void begin() {
+    channel_ = std::make_unique<FrameChannel>(sock_);
+    channel_->set_on_frame(
+        [self = shared_from_this()](MsgType t, BinaryReader& r) {
+          self->on_frame(t, r);
+        });
+  }
+
+ private:
+  struct MigSocket {
+    Fd fd;
+    std::shared_ptr<stack::Socket> sock;
+    bool in_cluster{false};       // local addr is this node's cluster address
+    bool translatable{false};     // connected in-cluster socket needing a filter
+    net::Endpoint orig_remote{};  // remote endpoint as stored in the socket
+    net::Endpoint effective_remote{};  // where the peer actually lives now
+  };
+
+  sim::Engine& engine() const { return node_->engine(); }
+  const CostModel& cm() const { return owner_->cm_; }
+
+  void after(SimDuration d, std::function<void()> fn) {
+    node_->cpu().account(kKernelPid, d);
+    engine().schedule_after(d, [self = shared_from_this(), fn = std::move(fn)] {
+      (void)self;
+      fn();
+    });
+  }
+
+  void on_frame(MsgType type, BinaryReader& r) {
+    switch (type) {
+      case MsgType::mig_begin: {
+        pid_ = Pid{r.u32()};
+        name_ = r.str();
+        strategy_ = static_cast<SocketMigStrategy>(r.u8());
+        src_local_.value = r.u32();
+        capture_session_ = owner_->capture_.begin_session();
+        return;
+      }
+      case MsgType::capture_request: {
+        const std::uint32_t n = r.u32();
+        std::vector<CaptureSpec> specs;
+        specs.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          specs.push_back(CaptureSpec::deserialize(r));
+        }
+        DVEMIG_DEBUG("migd", "pid %u dest: capture_request with %u specs", pid_.value, n);
+        after(SimTime::nanoseconds(static_cast<std::int64_t>(n) *
+                                   cm().capture_install_ns),
+              [this, specs = std::move(specs)] {
+                for (const CaptureSpec& s : specs) {
+                  owner_->capture_.add_spec(capture_session_, s);
+                }
+                channel_->send(MsgType::capture_enabled, Buffer{});
+              });
+        return;
+      }
+      case MsgType::socket_state: {
+        socket_bytes_ += r.remaining() + 1;
+        const std::uint32_t n = r.u32();
+        (void)n;
+        while (!r.at_end()) read_socket_record(r, staging_);
+        BinaryWriter w;
+        w.u32(n);
+        channel_->send(MsgType::socket_ack, std::move(w));
+        return;
+      }
+      case MsgType::memory_delta: {
+        memory_bytes_ += r.remaining() + 1;
+        const ckpt::MemoryDelta delta = ckpt::MemoryDelta::deserialize(r);
+        pages_received_ += delta.dirty_pages.size();
+        return;
+      }
+      case MsgType::process_image: {
+        img_ = ckpt::ProcessImage::deserialize(r);
+        const SimDuration cost =
+            SimTime::nanoseconds(cm().restore_meta_ns) +
+            cm().restore_cost(staging_.size(), socket_bytes_);
+        after(cost, [this] { do_restore(); });
+        return;
+      }
+      case MsgType::mig_abort:
+        owner_->capture_.abort_session(capture_session_);
+        return;
+      default:
+        return;
+    }
+  }
+
+  void do_restore() {
+    DVEMIG_DEBUG("migd", "pid %u restore on %s: %zu staged sockets, %llu socket "
+                 "bytes, %llu pages",
+                 img_.pid.value, node_->name().c_str(), staging_.size(),
+                 static_cast<unsigned long long>(socket_bytes_),
+                 static_cast<unsigned long long>(pages_received_));
+    auto proc = ckpt::restore_process(*node_, img_);
+
+    RestoreContext ctx;
+    ctx.stack = &node_->stack();
+    ctx.src_node_local_addr = src_local_;
+    ctx.dst_node_local_addr = node_->local_addr();
+    ctx.src_jiffies_at_ckpt = img_.src_jiffies;
+    ctx.src_local_now_at_ckpt_ns = img_.src_local_now_ns;
+    ctx.adjust_timestamps = owner_->adjust_timestamps_;
+
+    // Reattach sockets at their original fds, in fd order.
+    std::unordered_map<Fd, const StagedSocket*> by_fd;
+    for (const auto& [key, staged] : staging_) {
+      DVEMIG_ASSERT(staged.complete());
+      by_fd[staged.proto == net::IpProto::tcp ? staged.tcp.fd : staged.udp.fd] =
+          &staged;
+    }
+    for (const Fd fd : img_.socket_fds) {
+      const auto it = by_fd.find(fd);
+      DVEMIG_ASSERT(it != by_fd.end());
+      const StagedSocket& staged = *it->second;
+      if (staged.proto == net::IpProto::tcp) {
+        proc->files().attach_socket_at(fd, restore_tcp(staged.tcp, ctx));
+      } else {
+        proc->files().attach_socket_at(fd, restore_udp(staged.udp, ctx));
+      }
+    }
+
+    node_->adopt(proc);
+    proc->resume();
+
+    // Reinjection after the sockets are rehashed (Section V-B).
+    const std::size_t captured = owner_->capture_.queued(capture_session_);
+    const std::size_t reinjected = owner_->capture_.finish_session(capture_session_);
+
+    BinaryWriter w;
+    w.i64(engine().now().ns);
+    w.u64(captured);
+    w.u64(reinjected);
+    channel_->send(MsgType::resume_done, std::move(w));
+
+    // Let the peer close first; drop our reference afterwards.
+    sock_->set_on_peer_closed([self = shared_from_this()] {
+      self->sock_->close();
+      self->owner_->release_dest_session(self.get());
+    });
+  }
+
+  Migd* owner_;
+  proc::Node* node_;
+  stack::TcpSocket::Ptr sock_;
+  std::unique_ptr<FrameChannel> channel_;
+
+  Pid pid_{};
+  std::string name_;
+  SocketMigStrategy strategy_{};
+  net::Ipv4Addr src_local_{};
+  std::uint64_t capture_session_{0};
+
+  SocketStaging staging_;
+  std::uint64_t socket_bytes_{0};
+  std::uint64_t memory_bytes_{0};
+  std::uint64_t pages_received_{0};
+  ckpt::ProcessImage img_;
+};
+
+// ==================================================================== Migd
+
+Migd::Migd(proc::Node& node, CostModel cm)
+    : node_(&node),
+      cm_(cm),
+      capture_(node.stack()),
+      translation_(node.stack()),
+      transd_(node, translation_, cm) {}
+
+void Migd::start() {
+  transd_.start();
+  listener_ = node_->stack().make_tcp();
+  listener_->bind(node_->local_addr(), kMigdPort);
+  listener_->listen(16);
+  listener_->set_on_accept_ready([this] { on_accept_ready(); });
+}
+
+void Migd::on_accept_ready() {
+  while (auto conn = listener_->accept()) {
+    auto session = std::make_shared<DestSession>(*this, std::move(conn));
+    dst_sessions_.push_back(session);
+    session->begin();
+  }
+}
+
+void Migd::release_dest_session(DestSession* session) {
+  std::erase_if(dst_sessions_,
+                [session](const auto& s) { return s.get() == session; });
+}
+
+bool Migd::migrate(Pid pid, net::Ipv4Addr dest_local, SocketMigStrategy strategy,
+                   DoneFn done) {
+  return migrate(pid, dest_local, MigrateOptions{strategy, true}, std::move(done));
+}
+
+bool Migd::migrate(Pid pid, net::Ipv4Addr dest_local, MigrateOptions options,
+                   DoneFn done) {
+  if (src_session_ != nullptr) return false;
+  auto proc = node_->find(pid);
+  DVEMIG_EXPECTS(proc != nullptr);
+  done_ = std::move(done);
+  src_session_ = std::make_shared<SourceSession>(*this, std::move(proc), dest_local,
+                                                 options);
+  src_session_->begin();
+  return true;
+}
+
+void Migd::source_finished(const MigrationStats& stats) {
+  src_session_.reset();
+  if (done_) std::exchange(done_, nullptr)(stats);
+}
+
+}  // namespace dvemig::mig

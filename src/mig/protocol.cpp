@@ -1,0 +1,40 @@
+#include "src/mig/protocol.hpp"
+
+namespace dvemig::mig {
+
+FrameChannel::FrameChannel(stack::TcpSocket::Ptr sock) : sock_(std::move(sock)) {
+  DVEMIG_EXPECTS(sock_ != nullptr);
+  sock_->set_on_readable([this] { on_readable(); });
+  // Data may already be waiting (frames that raced connection setup).
+  on_readable();
+}
+
+void FrameChannel::send(MsgType type, const Buffer& payload) {
+  BinaryWriter frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size() + 1));
+  frame.u8(static_cast<std::uint8_t>(type));
+  frame.bytes(payload);
+  bytes_sent_ += frame.size();
+  sock_->send(frame.take());
+}
+
+void FrameChannel::on_readable() {
+  Buffer chunk = sock_->read();
+  rx_buffer_.insert(rx_buffer_.end(), chunk.begin(), chunk.end());
+
+  std::size_t off = 0;
+  while (rx_buffer_.size() - off >= 4) {
+    BinaryReader len_reader({rx_buffer_.data() + off, 4});
+    const std::uint32_t len = len_reader.u32();
+    if (rx_buffer_.size() - off - 4 < len) break;  // incomplete frame
+    BinaryReader body({rx_buffer_.data() + off + 4, len});
+    const auto type = static_cast<MsgType>(body.u8());
+    off += 4 + len;
+    if (on_frame_) on_frame_(type, body);
+  }
+  if (off > 0) {
+    rx_buffer_.erase(rx_buffer_.begin(), rx_buffer_.begin() + static_cast<std::ptrdiff_t>(off));
+  }
+}
+
+}  // namespace dvemig::mig

@@ -1,0 +1,60 @@
+// Wire protocol between the per-node daemons.
+//
+//  - migd <-> migd:   framed messages over a TCP connection on the cluster network;
+//  - migd  -> transd: translation requests over UDP (port kTransdPort);
+//  - conductors:      their own UDP protocol, defined in src/lb.
+//
+// Frames: u32 length (of type+payload) | u8 type | payload.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/serial.hpp"
+#include "src/stack/tcp_socket.hpp"
+
+namespace dvemig::mig {
+
+inline constexpr net::Port kMigdPort = 7000;
+inline constexpr net::Port kTransdPort = 7001;
+
+enum class MsgType : std::uint8_t {
+  mig_begin = 1,      // src -> dst: pid, name, strategy, src node identity
+  memory_delta = 2,   // src -> dst: one precopy round's (or final) memory delta
+  capture_request = 3,  // src -> dst: capture specs to install
+  capture_enabled = 4,  // dst -> src: all requested filters are armed
+  socket_state = 5,   // src -> dst: socket section updates (full or delta)
+  socket_ack = 6,     // dst -> src: per-dump ack (iterative strategy waits on it)
+  process_image = 7,  // src -> dst: freeze-phase process metadata; triggers restore
+  resume_done = 8,    // dst -> src: process resumed; carries timing + counters
+  mig_abort = 9,      // either direction
+};
+
+/// Sockets deliver a byte stream; FrameChannel reassembles protocol frames and
+/// hands them to a callback. Also the send side: frame + stream into the socket.
+class FrameChannel {
+ public:
+  using FrameFn = std::function<void(MsgType, BinaryReader&)>;
+
+  explicit FrameChannel(stack::TcpSocket::Ptr sock);
+
+  void set_on_frame(FrameFn fn) { on_frame_ = std::move(fn); }
+
+  void send(MsgType type, const Buffer& payload);
+  void send(MsgType type, BinaryWriter&& payload) { send(type, payload.buffer()); }
+
+  stack::TcpSocket& socket() { return *sock_; }
+  const stack::TcpSocket::Ptr& socket_ptr() const { return sock_; }
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  void on_readable();
+
+  stack::TcpSocket::Ptr sock_;
+  Buffer rx_buffer_;
+  FrameFn on_frame_;
+  std::uint64_t bytes_sent_{0};
+};
+
+}  // namespace dvemig::mig

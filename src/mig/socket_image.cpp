@@ -1,0 +1,439 @@
+#include "src/mig/socket_image.hpp"
+
+#include "src/mig/cost_model.hpp"
+
+namespace dvemig::mig {
+
+namespace {
+
+void write_endpoint(BinaryWriter& w, net::Endpoint e) {
+  w.u32(e.addr.value);
+  w.u16(e.port);
+}
+
+net::Endpoint read_endpoint(BinaryReader& r) {
+  net::Endpoint e;
+  e.addr.value = r.u32();
+  e.port = r.u16();
+  return e;
+}
+
+void write_struct_pad(BinaryWriter& w, std::size_t n) {
+  // Stands in for the rest of the kernel structure (field-for-field dump of
+  // struct tcp_sock / udp_sock); content is irrelevant, size is what is measured.
+  static const Buffer pad(4096, 0xA5);
+  DVEMIG_EXPECTS(n <= pad.size());
+  w.bytes({pad.data(), n});
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- CaptureSpec
+
+void CaptureSpec::serialize(BinaryWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(proto));
+  w.u8(match_remote ? 1 : 0);
+  write_endpoint(w, remote);
+  w.u16(local_port);
+}
+
+CaptureSpec CaptureSpec::deserialize(BinaryReader& r) {
+  CaptureSpec s;
+  s.proto = static_cast<net::IpProto>(r.u8());
+  s.match_remote = r.u8() != 0;
+  s.remote = read_endpoint(r);
+  s.local_port = r.u16();
+  return s;
+}
+
+bool CaptureSpec::matches(const net::Packet& p) const {
+  if (p.proto != proto) return false;
+  if (p.dport() != local_port) return false;
+  if (match_remote && (p.src != remote.addr || p.sport() != remote.port)) return false;
+  return true;
+}
+
+// ---------------------------------------------------------------- TCP sections
+
+void TcpImage::serialize_static(BinaryWriter& w) const {
+  w.u64(src_sock_key);
+  w.i32(fd);
+  write_endpoint(w, local);
+  write_endpoint(w, remote);
+  w.u8(listening ? 1 : 0);
+  w.u32(backlog_limit);
+  w.u32(iss);
+  w.u32(irs);
+  w.u32(rcv_wnd_max);
+  write_struct_pad(w, kTcpSockStructPad);
+  w.u32(static_cast<std::uint32_t>(accept_children.size()));
+  for (const TcpImage& child : accept_children) {
+    child.serialize_static(w);
+    child.serialize_dynamic(w);
+    child.serialize_queues(w);
+  }
+}
+
+void TcpImage::deserialize_static(BinaryReader& r) {
+  src_sock_key = r.u64();
+  fd = r.i32();
+  local = read_endpoint(r);
+  remote = read_endpoint(r);
+  listening = r.u8() != 0;
+  backlog_limit = r.u32();
+  iss = r.u32();
+  irs = r.u32();
+  rcv_wnd_max = r.u32();
+  r.skip(kTcpSockStructPad);
+  const std::uint32_t nchildren = r.u32();
+  accept_children.resize(nchildren);
+  for (TcpImage& child : accept_children) {
+    child.deserialize_static(r);
+    child.deserialize_dynamic(r);
+    child.deserialize_queues(r);
+  }
+}
+
+void TcpImage::serialize_dynamic(BinaryWriter& w) const {
+  w.u8(state);
+  w.u32(snd_una);
+  w.u32(snd_nxt);
+  w.u32(snd_wnd);
+  w.u32(rcv_nxt);
+  w.i64(srtt_ns);
+  w.i64(rttvar_ns);
+  w.i64(rto_ns);
+  w.u32(cwnd);
+  w.u32(ssthresh);
+  w.u32(ts_recent);
+  w.i64(ts_offset);
+  w.u8(fin_queued ? 1 : 0);
+  w.u32(fin_seq);
+  w.u8(peer_fin_seen ? 1 : 0);
+}
+
+void TcpImage::deserialize_dynamic(BinaryReader& r) {
+  state = r.u8();
+  snd_una = r.u32();
+  snd_nxt = r.u32();
+  snd_wnd = r.u32();
+  rcv_nxt = r.u32();
+  srtt_ns = r.i64();
+  rttvar_ns = r.i64();
+  rto_ns = r.i64();
+  cwnd = r.u32();
+  ssthresh = r.u32();
+  ts_recent = r.u32();
+  ts_offset = r.i64();
+  fin_queued = r.u8() != 0;
+  fin_seq = r.u32();
+  peer_fin_seen = r.u8() != 0;
+}
+
+void TcpImage::serialize_queues(BinaryWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(write_queue.size()));
+  for (const auto& s : write_queue) {
+    w.u32(s.seq);
+    w.u8(s.flags);
+    w.u32(s.retrans);
+    w.i64(s.sent_at_local_ns);
+    w.u32(s.sent_tsval);
+    w.blob(s.data);
+    write_struct_pad(w, kSkbStructPad);
+  }
+  auto write_rx = [&w](const std::vector<TcpRxImage>& q) {
+    w.u32(static_cast<std::uint32_t>(q.size()));
+    for (const auto& s : q) {
+      w.u32(s.seq);
+      w.u8(s.fin ? 1 : 0);
+      w.blob(s.data);
+      write_struct_pad(w, kSkbStructPad);
+    }
+  };
+  write_rx(receive_queue);
+  write_rx(ooo_queue);
+}
+
+void TcpImage::deserialize_queues(BinaryReader& r) {
+  write_queue.clear();
+  receive_queue.clear();
+  ooo_queue.clear();
+  const std::uint32_t nw = r.u32();
+  write_queue.reserve(nw);
+  for (std::uint32_t i = 0; i < nw; ++i) {
+    TcpSegmentImage s;
+    s.seq = r.u32();
+    s.flags = r.u8();
+    s.retrans = r.u32();
+    s.sent_at_local_ns = r.i64();
+    s.sent_tsval = r.u32();
+    s.data = r.blob();
+    r.skip(kSkbStructPad);
+    write_queue.push_back(std::move(s));
+  }
+  auto read_rx = [&r](std::vector<TcpRxImage>& q) {
+    const std::uint32_t n = r.u32();
+    q.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      TcpRxImage s;
+      s.seq = r.u32();
+      s.fin = r.u8() != 0;
+      s.data = r.blob();
+      r.skip(kSkbStructPad);
+      q.push_back(std::move(s));
+    }
+  };
+  read_rx(receive_queue);
+  read_rx(ooo_queue);
+}
+
+// ---------------------------------------------------------------- UDP sections
+
+void UdpImage::serialize_static(BinaryWriter& w) const {
+  w.u64(src_sock_key);
+  w.i32(fd);
+  write_endpoint(w, local);
+  write_endpoint(w, remote);
+  w.u8(bound ? 1 : 0);
+  w.u8(connected ? 1 : 0);
+  write_struct_pad(w, kUdpSockStructPad);
+}
+
+void UdpImage::deserialize_static(BinaryReader& r) {
+  src_sock_key = r.u64();
+  fd = r.i32();
+  local = read_endpoint(r);
+  remote = read_endpoint(r);
+  bound = r.u8() != 0;
+  connected = r.u8() != 0;
+  r.skip(kUdpSockStructPad);
+}
+
+void UdpImage::serialize_queues(BinaryWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(receive_queue.size()));
+  for (const auto& [from, data] : receive_queue) {
+    write_endpoint(w, from);
+    w.blob(data);
+    write_struct_pad(w, kSkbStructPad);
+  }
+}
+
+void UdpImage::deserialize_queues(BinaryReader& r) {
+  receive_queue.clear();
+  const std::uint32_t n = r.u32();
+  receive_queue.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const net::Endpoint from = read_endpoint(r);
+    Buffer data = r.blob();
+    r.skip(kSkbStructPad);
+    receive_queue.emplace_back(from, std::move(data));
+  }
+}
+
+// ---------------------------------------------------------------- extraction
+
+TcpImage extract_tcp(const stack::TcpSocket& sock, Fd fd) {
+  const stack::TcpCb& cb = sock.cb();
+  // Signal-based checkpointing guarantees the process is out of any socket
+  // syscall: the backlog and prequeue must be empty (Section V-C1).
+  DVEMIG_EXPECTS(!cb.user_locked && !cb.blocked_reader);
+  DVEMIG_EXPECTS(cb.backlog.empty() && cb.prequeue.empty());
+
+  TcpImage img;
+  img.src_sock_key = sock.sock_id();
+  img.fd = fd;
+  img.local = sock.local();
+  img.remote = sock.remote();
+  img.listening = cb.state == stack::TcpState::listen;
+  img.backlog_limit = sock.accept_backlog_limit();
+  img.iss = cb.iss;
+  img.irs = cb.irs;
+  img.rcv_wnd_max = cb.rcv_wnd_max;
+
+  img.state = static_cast<std::uint8_t>(cb.state);
+  img.snd_una = cb.snd_una;
+  img.snd_nxt = cb.snd_nxt;
+  img.snd_wnd = cb.snd_wnd;
+  img.rcv_nxt = cb.rcv_nxt;
+  img.srtt_ns = cb.srtt_ns;
+  img.rttvar_ns = cb.rttvar_ns;
+  img.rto_ns = cb.rto_ns;
+  img.cwnd = cb.cwnd;
+  img.ssthresh = cb.ssthresh;
+  img.ts_recent = cb.ts_recent;
+  img.ts_offset = cb.ts_offset;
+  img.fin_queued = cb.fin_queued;
+  img.fin_seq = cb.fin_seq;
+  img.peer_fin_seen = cb.peer_fin_seen;
+
+  for (const auto& s : cb.write_queue) {
+    img.write_queue.push_back(TcpSegmentImage{s.seq, s.flags, s.retrans,
+                                              s.sent_at_local_ns, s.sent_tsval,
+                                              s.data});
+  }
+  for (const auto& s : cb.receive_queue) {
+    img.receive_queue.push_back(TcpRxImage{s.seq, s.fin, s.data});
+  }
+  for (const auto& [seq, s] : cb.ooo_queue) {
+    img.ooo_queue.push_back(TcpRxImage{s.seq, s.fin, s.data});
+  }
+
+  if (img.listening) {
+    // Established children awaiting accept() ride along; half-open (SYN_RCVD)
+    // embryos are dropped — the client's SYN retransmission is captured on the
+    // destination and completes the handshake there.
+    for (const auto& child : const_cast<stack::TcpSocket&>(sock).accept_queue()) {
+      img.accept_children.push_back(extract_tcp(*child, -1));
+    }
+  }
+  return img;
+}
+
+UdpImage extract_udp(const stack::UdpSocket& sock, Fd fd) {
+  const stack::UdpCb& cb = sock.cb();
+  UdpImage img;
+  img.src_sock_key = sock.sock_id();
+  img.fd = fd;
+  img.local = sock.local();
+  img.remote = sock.remote();
+  img.bound = cb.bound;
+  img.connected = cb.connected;
+  for (const auto& d : cb.receive_queue) img.receive_queue.emplace_back(d.from, d.data);
+  return img;
+}
+
+std::vector<CaptureSpec> capture_specs_for_tcp(const stack::TcpSocket& sock) {
+  std::vector<CaptureSpec> specs;
+  if (sock.cb().state == stack::TcpState::listen) {
+    // A listener (and its children) may hear from anyone on its port; the
+    // children additionally get precise 4-tuple specs.
+    specs.push_back(CaptureSpec{net::IpProto::tcp, false, {}, sock.local().port});
+    for (const auto& child : const_cast<stack::TcpSocket&>(sock).accept_queue()) {
+      specs.push_back(
+          CaptureSpec{net::IpProto::tcp, true, child->remote(), child->local().port});
+    }
+  } else {
+    specs.push_back(
+        CaptureSpec{net::IpProto::tcp, true, sock.remote(), sock.local().port});
+  }
+  return specs;
+}
+
+CaptureSpec capture_spec_for_udp(const stack::UdpSocket& sock) {
+  if (sock.cb().connected) {
+    return CaptureSpec{net::IpProto::udp, true, sock.remote(), sock.local().port};
+  }
+  return CaptureSpec{net::IpProto::udp, false, {}, sock.local().port};
+}
+
+// ---------------------------------------------------------------- restoration
+
+namespace {
+
+net::Endpoint rewrite_local(net::Endpoint local, const RestoreContext& ctx) {
+  // In-cluster sockets carried the source node's local IP; on the destination the
+  // socket speaks with the destination's local IP (the peer's translation filter
+  // maps it back, Section III-C).
+  if (local.addr == ctx.src_node_local_addr) {
+    return net::Endpoint{ctx.dst_node_local_addr, local.port};
+  }
+  return local;  // shared public IP (or wildcard): unchanged
+}
+
+}  // namespace
+
+stack::TcpSocket::Ptr restore_tcp(const TcpImage& img, const RestoreContext& ctx) {
+  DVEMIG_EXPECTS(ctx.stack != nullptr);
+  auto sock = ctx.stack->make_tcp();
+  stack::TcpCb& cb = sock->cb();
+
+  const net::Endpoint local = rewrite_local(img.local, ctx);
+  sock->set_endpoints(local, img.remote);
+
+  cb.state = static_cast<stack::TcpState>(img.state);
+  cb.iss = img.iss;
+  cb.irs = img.irs;
+  cb.rcv_wnd_max = img.rcv_wnd_max;
+  cb.snd_una = img.snd_una;
+  cb.snd_nxt = img.snd_nxt;
+  cb.snd_wnd = img.snd_wnd;
+  cb.rcv_nxt = img.rcv_nxt;
+  cb.srtt_ns = img.srtt_ns;
+  cb.rttvar_ns = img.rttvar_ns;
+  cb.rto_ns = img.rto_ns;
+  cb.cwnd = img.cwnd;
+  cb.ssthresh = img.ssthresh;
+  cb.ts_recent = img.ts_recent;
+  cb.ts_offset = img.ts_offset;
+  cb.fin_queued = img.fin_queued;
+  cb.fin_seq = img.fin_seq;
+  cb.peer_fin_seen = img.peer_fin_seen;
+
+  // --- TCP timestamp adjustment (Section V-C1) ---
+  // Jiffies differ between hosts. tsval generation must continue monotonically
+  // from where the source left off, and buffered local-clock stamps must be moved
+  // into the destination's timebase, or RTT estimation and PAWS break.
+  const std::int64_t jiffies_delta = ctx.src_jiffies_at_ckpt - ctx.stack->jiffies();
+  const std::int64_t clock_delta_ns =
+      ctx.stack->local_now_ns() - ctx.src_local_now_at_ckpt_ns;
+  if (ctx.adjust_timestamps) {
+    cb.ts_offset += jiffies_delta;
+  }
+
+  for (const auto& s : img.write_queue) {
+    stack::TcpTxSegment seg;
+    seg.seq = s.seq;
+    seg.flags = s.flags;
+    seg.retrans = s.retrans;
+    seg.sent_at_local_ns =
+        ctx.adjust_timestamps && s.sent_at_local_ns >= 0
+            ? s.sent_at_local_ns + clock_delta_ns
+            : s.sent_at_local_ns;
+    seg.sent_tsval = s.sent_tsval;
+    seg.data = s.data;
+    cb.write_queue.push_back(std::move(seg));
+  }
+  for (const auto& s : img.receive_queue) {
+    cb.receive_queue.push_back(stack::TcpRxSegment{s.seq, s.data, s.fin});
+    cb.receive_queue_bytes += s.data.size();
+  }
+  for (const auto& s : img.ooo_queue) {
+    cb.ooo_queue.emplace(s.seq, stack::TcpRxSegment{s.seq, s.data, s.fin});
+  }
+
+  // Rehash (ehash for connections, bhash for listeners) and restart timers.
+  if (img.listening) {
+    cb.state = stack::TcpState::listen;
+    sock->set_accept_backlog_limit(img.backlog_limit);
+    ctx.stack->table().bhash_insert(sock, local.port);
+    sock->set_hashed_bound(true);
+    for (const TcpImage& child_img : img.accept_children) {
+      auto child = restore_tcp(child_img, ctx);
+      sock->accept_queue().push_back(std::move(child));
+    }
+  } else {
+    ctx.stack->table().ehash_insert(sock, stack::FourTuple{local, img.remote});
+    sock->set_hashed_established(true);
+  }
+  sock->restart_timers_after_restore();
+  return sock;
+}
+
+std::shared_ptr<stack::UdpSocket> restore_udp(const UdpImage& img,
+                                              const RestoreContext& ctx) {
+  DVEMIG_EXPECTS(ctx.stack != nullptr);
+  auto sock = ctx.stack->make_udp();
+  const net::Endpoint local = rewrite_local(img.local, ctx);
+  sock->set_endpoints(local, img.remote, img.bound, img.connected);
+  stack::UdpCb& cb = sock->cb();
+  for (const auto& [from, data] : img.receive_queue) {
+    cb.receive_queue.push_back(stack::UdpDatagram{from, data});
+  }
+  if (img.bound) {
+    // Rehash the bound server socket on the destination (Section V-C2).
+    ctx.stack->table().bhash_insert(sock, local.port);
+  }
+  return sock;
+}
+
+}  // namespace dvemig::mig

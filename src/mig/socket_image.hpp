@@ -1,0 +1,173 @@
+// Socket state images: extraction on the source, restoration on the destination
+// (Section V-C), with section-granular serialization so the incremental collective
+// strategy can ship only what changed.
+//
+// A TCP image is split into three sections:
+//   static  — identity + the bulk of the kernel structure (struct tcp_sock pad):
+//             written once, practically never changes afterwards;
+//   dynamic — sequence numbers, windows, RTT/congestion state, timestamps;
+//   queues  — write / receive / out-of-order queue contents (real payload bytes).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/serial.hpp"
+#include "src/common/types.hpp"
+#include "src/stack/tcp_socket.hpp"
+#include "src/stack/udp_socket.hpp"
+
+namespace dvemig::mig {
+
+/// What the destination must match to capture packets for a migrating socket
+/// (Section III-B: remote IP, remote port and local port).
+struct CaptureSpec {
+  net::IpProto proto{net::IpProto::tcp};
+  bool match_remote{true};  // false for wildcard server sockets (UDP bind, listeners)
+  net::Endpoint remote{};
+  net::Port local_port{0};
+
+  void serialize(BinaryWriter& w) const;
+  static CaptureSpec deserialize(BinaryReader& r);
+  bool matches(const net::Packet& p) const;
+};
+
+enum class SectionFlags : std::uint8_t {
+  none = 0,
+  stat = 1,      // static section
+  dyn = 2,       // dynamic section
+  queues = 4,
+  all = 7,
+};
+inline std::uint8_t operator&(SectionFlags a, SectionFlags b) {
+  return static_cast<std::uint8_t>(a) & static_cast<std::uint8_t>(b);
+}
+inline SectionFlags operator|(SectionFlags a, SectionFlags b) {
+  return static_cast<SectionFlags>(static_cast<std::uint8_t>(a) |
+                                   static_cast<std::uint8_t>(b));
+}
+
+struct TcpSegmentImage {
+  std::uint32_t seq{0};
+  std::uint8_t flags{0};
+  std::uint32_t retrans{0};
+  std::int64_t sent_at_local_ns{-1};
+  std::uint32_t sent_tsval{0};
+  Buffer data;
+};
+
+struct TcpRxImage {
+  std::uint32_t seq{0};
+  bool fin{false};
+  Buffer data;
+};
+
+struct TcpImage {
+  // --- static section ---
+  std::uint64_t src_sock_key{0};  // sock_id on the source (delta-tracking key)
+  Fd fd{-1};                      // process fd; -1 for un-accepted listener children
+  net::Endpoint local{};
+  net::Endpoint remote{};
+  bool listening{false};
+  std::uint32_t backlog_limit{0};
+  std::uint32_t iss{0};
+  std::uint32_t irs{0};
+  std::uint32_t rcv_wnd_max{0};
+
+  // --- dynamic section ---
+  std::uint8_t state{0};
+  std::uint32_t snd_una{0};
+  std::uint32_t snd_nxt{0};
+  std::uint32_t snd_wnd{0};
+  std::uint32_t rcv_nxt{0};
+  std::int64_t srtt_ns{0};
+  std::int64_t rttvar_ns{0};
+  std::int64_t rto_ns{0};
+  std::uint32_t cwnd{0};
+  std::uint32_t ssthresh{0};
+  std::uint32_t ts_recent{0};
+  std::int64_t ts_offset{0};
+  bool fin_queued{false};
+  std::uint32_t fin_seq{0};
+  bool peer_fin_seen{false};
+
+  // --- queues section ---
+  std::vector<TcpSegmentImage> write_queue;
+  std::vector<TcpRxImage> receive_queue;
+  std::vector<TcpRxImage> ooo_queue;
+
+  // Listener children (fully established, waiting in the accept queue) ride along
+  // with the listening socket's image as nested full images.
+  std::vector<TcpImage> accept_children;
+
+  void serialize_static(BinaryWriter& w) const;
+  void serialize_dynamic(BinaryWriter& w) const;
+  void serialize_queues(BinaryWriter& w) const;
+  void deserialize_static(BinaryReader& r);
+  void deserialize_dynamic(BinaryReader& r);
+  void deserialize_queues(BinaryReader& r);
+};
+
+struct UdpImage {
+  std::uint64_t src_sock_key{0};
+  Fd fd{-1};
+  net::Endpoint local{};
+  net::Endpoint remote{};
+  bool bound{false};
+  bool connected{false};
+  std::vector<std::pair<net::Endpoint, Buffer>> receive_queue;
+
+  void serialize_static(BinaryWriter& w) const;
+  void serialize_queues(BinaryWriter& w) const;  // UDP has no dynamic section
+  void deserialize_static(BinaryReader& r);
+  void deserialize_queues(BinaryReader& r);
+};
+
+/// A socket image of either protocol, as stored by the destination's staging area.
+struct SocketImage {
+  net::IpProto proto{net::IpProto::tcp};
+  TcpImage tcp;
+  UdpImage udp;
+
+  Fd fd() const { return proto == net::IpProto::tcp ? tcp.fd : udp.fd; }
+  std::uint64_t key() const {
+    return proto == net::IpProto::tcp ? tcp.src_sock_key : udp.src_sock_key;
+  }
+};
+
+// ---------------------------------------------------------------- extraction
+
+/// Snapshot a TCP socket (including nested accept-queue children for listeners).
+/// Precondition (Section V-C1): backlog and prequeue are empty and the socket is
+/// not user-locked — guaranteed by signal-based checkpointing.
+TcpImage extract_tcp(const stack::TcpSocket& sock, Fd fd);
+
+UdpImage extract_udp(const stack::UdpSocket& sock, Fd fd);
+
+/// Capture spec(s) needed before disabling this socket on the source.
+std::vector<CaptureSpec> capture_specs_for_tcp(const stack::TcpSocket& sock);
+CaptureSpec capture_spec_for_udp(const stack::UdpSocket& sock);
+
+// ---------------------------------------------------------------- restoration
+
+struct RestoreContext {
+  stack::NetStack* stack{nullptr};          // destination stack
+  net::Ipv4Addr src_node_local_addr{};      // rewritten to dst_node_local_addr
+  net::Ipv4Addr dst_node_local_addr{};
+  std::int64_t src_jiffies_at_ckpt{0};      // for the timestamp adjustment
+  std::int64_t src_local_now_at_ckpt_ns{0};
+  bool adjust_timestamps{true};             // ablation switch
+};
+
+/// Rebuild a TCP socket on the destination stack: allocate, fill the control
+/// block (adjusting jiffies-domain timestamps by the source/destination delta),
+/// rewrite an in-cluster local address, rehash into ehash/bhash and restart the
+/// retransmission timer. The caller reinjects captured packets afterwards.
+stack::TcpSocket::Ptr restore_tcp(const TcpImage& img, const RestoreContext& ctx);
+
+std::shared_ptr<stack::UdpSocket> restore_udp(const UdpImage& img,
+                                              const RestoreContext& ctx);
+
+}  // namespace dvemig::mig

@@ -1,0 +1,134 @@
+#include "src/mig/translation.hpp"
+
+#include "src/stack/tcp_socket.hpp"
+
+namespace dvemig::mig {
+
+void TranslationRule::serialize(BinaryWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(proto));
+  w.u32(peer_local.addr.value);
+  w.u16(peer_local.port);
+  w.u32(mig_old.addr.value);
+  w.u16(mig_old.port);
+  w.u32(mig_new_addr.value);
+}
+
+TranslationRule TranslationRule::deserialize(BinaryReader& r) {
+  TranslationRule rule;
+  rule.proto = static_cast<net::IpProto>(r.u8());
+  rule.peer_local.addr.value = r.u32();
+  rule.peer_local.port = r.u16();
+  rule.mig_old.addr.value = r.u32();
+  rule.mig_old.port = r.u16();
+  rule.mig_new_addr.value = r.u32();
+  return rule;
+}
+
+std::uint64_t TranslationManager::install(TranslationRule rule, bool fix_dst_cache) {
+  // Chained migrations compose: when the connection already has a rule mapping
+  // ORIG -> X and the process now moves X -> Y, the peer's socket still emits
+  // packets addressed to ORIG, so the rule must become ORIG -> Y (and if Y is
+  // ORIG itself — the process returned home — the rule cancels out entirely).
+  for (auto it = rules_.begin(); it != rules_.end(); ++it) {
+    TranslationRule& existing = it->second;
+    if (existing.proto != rule.proto || existing.peer_local != rule.peer_local ||
+        existing.mig_old.port != rule.mig_old.port ||
+        existing.mig_new_addr != rule.mig_old.addr) {
+      continue;
+    }
+    const std::uint64_t id = it->first;
+    existing.mig_new_addr = rule.mig_new_addr;
+    if (fix_dst_cache) fix_cache(existing);
+    if (existing.mig_old.addr == existing.mig_new_addr) {
+      rules_.erase(it);  // identity mapping: the connection is back home
+      update_hooks();
+    }
+    return id;
+  }
+
+  const std::uint64_t id = ++next_rule_;
+  rules_.emplace(id, rule);
+  update_hooks();
+  if (fix_dst_cache) fix_cache(rule);
+  return id;
+}
+
+void TranslationManager::fix_cache(const TranslationRule& rule) {
+  if (rule.proto != net::IpProto::tcp) return;
+  // "Creating an accurate destination cache entry": find the local socket of
+  // this connection and repoint its cached next hop at the new node. Without
+  // this the IP header says IP2 but the frame still goes to IP1.
+  const stack::FourTuple tuple{rule.peer_local, rule.mig_old};
+  if (auto sock = stack_->table().ehash_lookup(tuple)) {
+    stack_->dst_cache_replace(sock->sock_id(), rule.mig_new_addr);
+  }
+}
+
+void TranslationManager::remove(std::uint64_t rule_id) {
+  rules_.erase(rule_id);
+  update_hooks();
+}
+
+std::optional<TranslationRule> TranslationManager::find_rule(
+    net::Endpoint peer_local, net::Endpoint mig_old) const {
+  for (const auto& [id, rule] : rules_) {
+    if (rule.peer_local == peer_local && rule.mig_old == mig_old) return rule;
+  }
+  return std::nullopt;
+}
+
+void TranslationManager::remove_matching(net::Endpoint peer_local,
+                                         net::Endpoint mig_old) {
+  std::erase_if(rules_, [&](const auto& entry) {
+    return entry.second.peer_local == peer_local && entry.second.mig_old == mig_old;
+  });
+  update_hooks();
+}
+
+void TranslationManager::update_hooks() {
+  if (rules_.empty()) {
+    out_hook_.release();
+    in_hook_.release();
+    return;
+  }
+  if (!out_hook_.registered()) {
+    out_hook_ = stack_->netfilter().register_hook(
+        stack::Hook::local_out, /*priority=*/0,
+        [this](net::Packet& p) { return on_local_out(p); });
+  }
+  if (!in_hook_.registered()) {
+    in_hook_ = stack_->netfilter().register_hook(
+        stack::Hook::local_in, /*priority=*/-10,  // before any capture hook
+        [this](net::Packet& p) { return on_local_in(p); });
+  }
+}
+
+stack::Verdict TranslationManager::on_local_out(net::Packet& p) {
+  for (const auto& [id, rule] : rules_) {
+    if (p.proto != rule.proto) continue;
+    if (p.src != rule.peer_local.addr || p.sport() != rule.peer_local.port) continue;
+    if (p.dst != rule.mig_old.addr || p.dport() != rule.mig_old.port) continue;
+    const std::uint32_t old_addr = p.dst.value;
+    p.dst = rule.mig_new_addr;
+    p.checksum = net::checksum_adjust32(p.checksum, old_addr, p.dst.value);
+    out_rewritten_ += 1;
+    break;
+  }
+  return stack::Verdict::accept;
+}
+
+stack::Verdict TranslationManager::on_local_in(net::Packet& p) {
+  for (const auto& [id, rule] : rules_) {
+    if (p.proto != rule.proto) continue;
+    if (p.dst != rule.peer_local.addr || p.dport() != rule.peer_local.port) continue;
+    if (p.src != rule.mig_new_addr || p.sport() != rule.mig_old.port) continue;
+    const std::uint32_t old_addr = p.src.value;
+    p.src = rule.mig_old.addr;
+    p.checksum = net::checksum_adjust32(p.checksum, old_addr, p.src.value);
+    in_rewritten_ += 1;
+    break;
+  }
+  return stack::Verdict::accept;
+}
+
+}  // namespace dvemig::mig

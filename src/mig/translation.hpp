@@ -1,0 +1,72 @@
+// In-cluster local address translation (Sections III-C, V-D).
+//
+// Installed on the *peer* host of a migrated in-cluster connection (e.g. the MySQL
+// server). Two netfilter hooks:
+//   LOCAL_OUT — packets this host sends to the connection's original address IP1
+//               are rewritten to the migration destination IP2;
+//   LOCAL_IN  — packets arriving from IP2 have their source rewritten back to IP1,
+//               so the local socket never notices the move.
+//
+// Both rewrites update the transport checksum incrementally (RFC 1624), and the
+// install replaces the local socket's destination-cache entry — without which
+// outgoing frames would still be steered to IP1 (the Section V-D pitfall; the
+// `fix_dst_cache` switch exists so the ablation benchmark can demonstrate it).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "src/net/checksum.hpp"
+#include "src/stack/net_stack.hpp"
+
+namespace dvemig::mig {
+
+struct TranslationRule {
+  net::IpProto proto{net::IpProto::tcp};
+  net::Endpoint peer_local{};   // this host's socket endpoint (IP3:portB)
+  net::Endpoint mig_old{};      // migrated socket's original endpoint (IP1:portA)
+  net::Ipv4Addr mig_new_addr{}; // migration destination (IP2)
+
+  void serialize(BinaryWriter& w) const;
+  static TranslationRule deserialize(BinaryReader& r);
+};
+
+class TranslationManager {
+ public:
+  explicit TranslationManager(stack::NetStack& stack) : stack_(&stack) {}
+
+  /// Install a translation rule; returns a rule id for removal.
+  std::uint64_t install(TranslationRule rule, bool fix_dst_cache = true);
+  void remove(std::uint64_t rule_id);
+
+  /// Find the rule translating the connection of the local socket with endpoint
+  /// `peer_local` toward original remote `mig_old`, if any. Used when a process
+  /// that is itself the peer of a previously migrated connection migrates: the
+  /// rule reveals where the other end really lives now.
+  std::optional<TranslationRule> find_rule(net::Endpoint peer_local,
+                                           net::Endpoint mig_old) const;
+
+  /// Remove rules for one connection (cleanup after their subject moved away).
+  void remove_matching(net::Endpoint peer_local, net::Endpoint mig_old);
+
+  std::size_t active_rules() const { return rules_.size(); }
+  std::uint64_t out_rewritten() const { return out_rewritten_; }
+  std::uint64_t in_rewritten() const { return in_rewritten_; }
+
+ private:
+  stack::Verdict on_local_out(net::Packet& p);
+  stack::Verdict on_local_in(net::Packet& p);
+  void update_hooks();
+  void fix_cache(const TranslationRule& rule);
+
+  stack::NetStack* stack_;
+  std::unordered_map<std::uint64_t, TranslationRule> rules_;
+  std::uint64_t next_rule_{0};
+  stack::HookHandle out_hook_;
+  stack::HookHandle in_hook_;
+  std::uint64_t out_rewritten_{0};
+  std::uint64_t in_rewritten_{0};
+};
+
+}  // namespace dvemig::mig

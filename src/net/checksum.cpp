@@ -1,0 +1,35 @@
+#include "src/net/checksum.hpp"
+
+namespace dvemig::net {
+
+std::uint32_t checksum_accumulate(std::span<const std::uint8_t> data, std::uint32_t sum) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (std::uint32_t{data[i]} << 8) | data[i + 1];
+  }
+  if (i < data.size()) sum += std::uint32_t{data[i]} << 8;  // odd trailing byte
+  return sum;
+}
+
+std::uint16_t fold_checksum(std::uint32_t sum) {
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  return fold_checksum(checksum_accumulate(data, 0));
+}
+
+std::uint16_t checksum_adjust32(std::uint16_t checksum, std::uint32_t old_value,
+                                std::uint32_t new_value) {
+  // RFC 1624: HC' = ~(~HC + ~m + m'), computed 16 bits at a time.
+  std::uint32_t sum = static_cast<std::uint16_t>(~checksum);
+  sum += static_cast<std::uint16_t>(~(old_value >> 16) & 0xFFFF);
+  sum += static_cast<std::uint16_t>(~old_value & 0xFFFF);
+  sum += (new_value >> 16) & 0xFFFF;
+  sum += new_value & 0xFFFF;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+}  // namespace dvemig::net

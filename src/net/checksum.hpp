@@ -1,0 +1,26 @@
+// Internet (ones'-complement) checksum, including the RFC 1624 incremental update
+// used by the in-cluster translation filter when it rewrites an IP address.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dvemig::net {
+
+/// Plain internet checksum over a byte span (RFC 1071).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Fold a 32-bit accumulated sum into a 16-bit ones'-complement checksum.
+std::uint16_t fold_checksum(std::uint32_t sum);
+
+/// Accumulate a span into a running 32-bit sum (for pseudo-header + payload sums).
+std::uint32_t checksum_accumulate(std::span<const std::uint8_t> data, std::uint32_t sum);
+
+/// RFC 1624 incremental update: given the old checksum and a 32-bit field that changed
+/// from `old_value` to `new_value`, return the corrected checksum without re-summing
+/// the whole packet. This is exactly what the translation filter does to the TCP
+/// checksum after rewriting the IP header.
+std::uint16_t checksum_adjust32(std::uint16_t checksum, std::uint32_t old_value,
+                                std::uint32_t new_value);
+
+}  // namespace dvemig::net

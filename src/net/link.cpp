@@ -1,0 +1,27 @@
+#include "src/net/link.hpp"
+
+#include <algorithm>
+
+namespace dvemig::net {
+
+void Link::transmit(Packet p) {
+  DVEMIG_EXPECTS(config_.bandwidth_bps > 0);
+  const std::size_t wire = p.wire_size();
+  const auto serialization =
+      SimTime::nanoseconds(static_cast<std::int64_t>(static_cast<double>(wire) * 8.0 /
+                                                     config_.bandwidth_bps * 1e9));
+
+  const SimTime start = std::max(engine_->now(), busy_until_);
+  busy_until_ = start + serialization;
+  const SimTime arrival = busy_until_ + config_.latency;
+
+  packets_ += 1;
+  bytes_ += wire;
+
+  if (!sink_) return;  // unconnected link drops (like an unplugged cable)
+  engine_->schedule_at(arrival, [this, pkt = std::move(p)]() mutable {
+    if (sink_) sink_(std::move(pkt));
+  });
+}
+
+}  // namespace dvemig::net

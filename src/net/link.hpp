@@ -1,0 +1,47 @@
+// Unidirectional timed link.
+//
+// Delivery time = serialization (wire_size / bandwidth) queued FIFO behind earlier
+// transmissions, plus propagation latency. This is what prices every transfer in the
+// experiments: the freeze-phase socket buffer of Fig. 5c literally rides these links.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/net/packet.hpp"
+#include "src/sim/engine.hpp"
+
+namespace dvemig::net {
+
+using PacketSink = std::function<void(Packet)>;
+
+struct LinkConfig {
+  double bandwidth_bps{1e9};                         // GbE by default
+  SimDuration latency{SimTime::microseconds(25)};    // one-way propagation + switching
+};
+
+class Link {
+ public:
+  Link(sim::Engine& engine, LinkConfig config) : engine_(&engine), config_(config) {}
+
+  void set_sink(PacketSink sink) { sink_ = std::move(sink); }
+
+  /// Queue a packet for transmission. Ownership of the payload moves with it.
+  void transmit(Packet p);
+
+  const LinkConfig& config() const { return config_; }
+
+  // Cumulative statistics.
+  std::uint64_t packets_sent() const { return packets_; }
+  std::uint64_t bytes_sent() const { return bytes_; }
+
+ private:
+  sim::Engine* engine_;
+  LinkConfig config_;
+  PacketSink sink_;
+  SimTime busy_until_{SimTime::zero()};
+  std::uint64_t packets_{0};
+  std::uint64_t bytes_{0};
+};
+
+}  // namespace dvemig::net

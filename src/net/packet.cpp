@@ -1,0 +1,124 @@
+#include "src/net/packet.hpp"
+
+#include "src/net/checksum.hpp"
+
+namespace dvemig::net {
+
+namespace {
+
+// Ethernet II header (14) + FCS (4) + preamble/SFD (8) + inter-frame gap (12).
+constexpr std::size_t kEthernetOverhead = 38;
+constexpr std::size_t kIpHeader = 20;
+constexpr std::size_t kTcpHeader = 20;
+constexpr std::size_t kTcpTimestampOption = 12;
+constexpr std::size_t kUdpHeader = 8;
+
+std::uint64_t next_packet_id() {
+  static std::uint64_t counter = 0;
+  return ++counter;
+}
+
+void write_u32_be(BinaryWriter& w, std::uint32_t v) {
+  w.u8(static_cast<std::uint8_t>(v >> 24));
+  w.u8(static_cast<std::uint8_t>(v >> 16));
+  w.u8(static_cast<std::uint8_t>(v >> 8));
+  w.u8(static_cast<std::uint8_t>(v));
+}
+
+Buffer checksum_input(const Packet& p) {
+  BinaryWriter w;
+  // Pseudo-header. Addresses are written big-endian, as on the wire, so that the
+  // RFC 1624 incremental checksum update over a 32-bit address value (used by the
+  // translation filter) composes with the full checksum.
+  write_u32_be(w, p.src.value);
+  write_u32_be(w, p.dst.value);
+  w.u8(0);
+  w.u8(static_cast<std::uint8_t>(p.proto));
+  w.u16(static_cast<std::uint16_t>(p.transport_size()));
+  // Transport header (checksum field itself excluded, as on the wire).
+  if (p.proto == IpProto::tcp) {
+    w.u16(p.tcp.sport);
+    w.u16(p.tcp.dport);
+    w.u32(p.tcp.seq);
+    w.u32(p.tcp.ack);
+    w.u8(p.tcp.flags);
+    w.u32(p.tcp.window);
+    w.u32(p.tcp.tsval);
+    w.u32(p.tcp.tsecr);
+  } else {
+    w.u16(p.udp.sport);
+    w.u16(p.udp.dport);
+    w.u16(static_cast<std::uint16_t>(p.payload.size()));
+  }
+  w.bytes(p.payload);
+  return w.take();
+}
+
+}  // namespace
+
+std::size_t Packet::transport_size() const {
+  const std::size_t hdr =
+      proto == IpProto::tcp ? kTcpHeader + kTcpTimestampOption : kUdpHeader;
+  return hdr + payload.size();
+}
+
+std::size_t Packet::wire_size() const {
+  // Minimum Ethernet frame is 64 bytes (incl. FCS); short packets are padded.
+  const std::size_t frame = kIpHeader + transport_size() + 18;  // eth hdr + FCS
+  return (frame < 64 ? 64 : frame) + (kEthernetOverhead - 18);
+}
+
+std::string Packet::describe() const {
+  std::string s = proto == IpProto::tcp ? "TCP " : "UDP ";
+  s += src.to_string() + ":" + std::to_string(sport()) + " -> " + dst.to_string() + ":" +
+       std::to_string(dport());
+  if (proto == IpProto::tcp) {
+    s += " [";
+    if (tcp.has(tcp_flags::syn)) s += "S";
+    if (tcp.has(tcp_flags::ack)) s += "A";
+    if (tcp.has(tcp_flags::fin)) s += "F";
+    if (tcp.has(tcp_flags::rst)) s += "R";
+    if (tcp.has(tcp_flags::psh)) s += "P";
+    s += "] seq=" + std::to_string(tcp.seq) + " ack=" + std::to_string(tcp.ack);
+  }
+  s += " len=" + std::to_string(payload.size());
+  return s;
+}
+
+std::uint16_t compute_checksum(const Packet& p) {
+  const Buffer input = checksum_input(p);
+  return internet_checksum(input);
+}
+
+bool checksum_ok(const Packet& p) { return p.checksum == compute_checksum(p); }
+
+void finalize(Packet& p) {
+  p.checksum = compute_checksum(p);
+  p.id = next_packet_id();
+}
+
+Packet make_udp(Endpoint from, Endpoint to, Buffer payload) {
+  Packet p;
+  p.src = from.addr;
+  p.dst = to.addr;
+  p.proto = IpProto::udp;
+  p.udp = UdpHeader{from.port, to.port};
+  p.payload = std::move(payload);
+  finalize(p);
+  return p;
+}
+
+Packet make_tcp(Endpoint from, Endpoint to, TcpHeader hdr, Buffer payload) {
+  Packet p;
+  p.src = from.addr;
+  p.dst = to.addr;
+  p.proto = IpProto::tcp;
+  hdr.sport = from.port;
+  hdr.dport = to.port;
+  p.tcp = hdr;
+  p.payload = std::move(payload);
+  finalize(p);
+  return p;
+}
+
+}  // namespace dvemig::net

@@ -1,0 +1,52 @@
+#include "src/net/switch.hpp"
+
+namespace dvemig::net {
+
+PacketSink Switch::attach(Ipv4Addr addr, PacketSink sink) {
+  DVEMIG_EXPECTS(!addr.is_broadcast() && addr != Ipv4Addr::any());
+  DVEMIG_EXPECTS(!ports_.contains(addr));
+
+  auto port = std::make_shared<PortState>();
+  port->uplink = std::make_unique<Link>(*engine_, link_config_);
+  port->downlink = std::make_unique<Link>(*engine_, link_config_);
+  port->downlink->set_sink(std::move(sink));
+  port->uplink->set_sink([this, addr](Packet p) { forward(addr, std::move(p)); });
+  ports_.emplace(addr, port);
+
+  // The returned sink keeps the port alive even if detach() races with an
+  // in-flight transmission; the alive flag stops delivery after detach.
+  return [port](Packet p) {
+    if (port->alive) port->uplink->transmit(std::move(p));
+  };
+}
+
+void Switch::detach(Ipv4Addr addr) {
+  auto it = ports_.find(addr);
+  if (it == ports_.end()) return;
+  it->second->alive = false;
+  it->second->downlink->set_sink(nullptr);
+  ports_.erase(it);
+}
+
+void Switch::forward(Ipv4Addr from, Packet p) {
+  // Frames are steered by the resolved link-layer destination when present (the
+  // sender's dst-cache decision), falling back to the IP destination.
+  const Ipv4Addr hw_dst = p.link_dst == Ipv4Addr::any() ? p.dst : p.link_dst;
+  if (p.dst.is_broadcast()) {
+    for (auto& [addr, port] : ports_) {
+      if (addr == from || !port->alive) continue;
+      forwarded_ += 1;
+      port->downlink->transmit(p);  // copy per receiver
+    }
+    return;
+  }
+  auto it = ports_.find(hw_dst);
+  if (it == ports_.end() || !it->second->alive) {
+    dropped_ += 1;
+    return;
+  }
+  forwarded_ += 1;
+  it->second->downlink->transmit(std::move(p));
+}
+
+}  // namespace dvemig::net

@@ -1,0 +1,31 @@
+#include "src/proc/app_logic.hpp"
+
+#include <unordered_map>
+
+#include "src/common/assert.hpp"
+
+namespace dvemig::proc {
+
+namespace {
+std::unordered_map<std::string, AppLogic::Factory>& registry() {
+  static std::unordered_map<std::string, AppLogic::Factory> r;
+  return r;
+}
+}  // namespace
+
+void AppLogic::register_kind(const std::string& kind, Factory factory) {
+  DVEMIG_EXPECTS(factory != nullptr);
+  registry()[kind] = std::move(factory);  // idempotent re-registration allowed
+}
+
+bool AppLogic::is_registered(const std::string& kind) {
+  return registry().contains(kind);
+}
+
+std::shared_ptr<AppLogic> AppLogic::create(const std::string& kind, BinaryReader& r) {
+  const auto it = registry().find(kind);
+  DVEMIG_EXPECTS(it != registry().end());
+  return it->second(r);
+}
+
+}  // namespace dvemig::proc

@@ -1,0 +1,43 @@
+// Application behaviour attached to a simulated process.
+//
+// Live migration moves a process *with* its logical state: the app's state rides in
+// the checkpoint image as an opaque blob (in reality it lives in the address space
+// pages; here it is serialized explicitly because pages carry no content). A kind
+// registry reconstructs the right AppLogic subclass on the destination node.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/common/serial.hpp"
+
+namespace dvemig::proc {
+
+class Process;
+
+class AppLogic {
+ public:
+  virtual ~AppLogic() = default;
+
+  /// Registry key identifying the concrete type (e.g. "zone_server").
+  virtual std::string kind() const = 0;
+
+  /// Serialize logical state into the checkpoint image.
+  virtual void serialize(BinaryWriter& w) const = 0;
+
+  /// Begin (or resume) execution on the process's current node: schedule ticks,
+  /// re-attach socket callbacks by fd, etc.
+  virtual void start(Process& proc) = 0;
+
+  /// Halt execution (cancel timers); called when the process freezes.
+  virtual void stop() = 0;
+
+  using Factory = std::function<std::shared_ptr<AppLogic>(BinaryReader&)>;
+
+  static void register_kind(const std::string& kind, Factory factory);
+  static bool is_registered(const std::string& kind);
+  static std::shared_ptr<AppLogic> create(const std::string& kind, BinaryReader& r);
+};
+
+}  // namespace dvemig::proc

@@ -1,0 +1,42 @@
+#include "src/proc/cpu_meter.hpp"
+
+#include <algorithm>
+
+namespace dvemig::proc {
+
+void CpuMeter::start() {
+  rollover_timer_ = engine_->schedule_after(window_, [this] { rollover(); });
+}
+
+void CpuMeter::rollover() {
+  last_per_process_.clear();
+  const double window_s = window_.to_sec();
+  for (const auto& [pid, ns] : cur_ns_) {
+    last_per_process_[pid] = static_cast<double>(ns) / 1e9 / window_s;
+  }
+  last_total_cores_ = static_cast<double>(cur_total_ns_) / 1e9 / window_s;
+  cur_ns_.clear();
+  cur_total_ns_ = 0;
+  rollover_timer_ = engine_->schedule_after(window_, [this] { rollover(); });
+}
+
+void CpuMeter::account(Pid pid, SimDuration cpu) {
+  DVEMIG_EXPECTS(cpu.ns >= 0);
+  cur_ns_[pid] += cpu.ns;
+  cur_total_ns_ += cpu.ns;
+}
+
+double CpuMeter::node_utilization() const {
+  return std::min(1.0, node_demand());
+}
+
+double CpuMeter::node_demand() const {
+  return capacity_ > 0 ? last_total_cores_ / capacity_ : 0.0;
+}
+
+double CpuMeter::process_cores(Pid pid) const {
+  const auto it = last_per_process_.find(pid);
+  return it == last_per_process_.end() ? 0.0 : it->second;
+}
+
+}  // namespace dvemig::proc

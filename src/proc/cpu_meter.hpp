@@ -1,0 +1,59 @@
+// Windowed per-node / per-process CPU accounting.
+//
+// This is what the paper's conductor reads through `atop` (Section IV): node
+// utilisation and per-process CPU consumption over the last sampling window.
+// Demand beyond the node's capacity saturates the *reported* utilisation at 100 %,
+// like a real machine pegged at its core count; the raw demand stays available for
+// the simulation's own bookkeeping.
+#pragma once
+
+#include <unordered_map>
+
+#include "src/common/types.hpp"
+#include "src/sim/engine.hpp"
+
+namespace dvemig::proc {
+
+class CpuMeter {
+ public:
+  CpuMeter(sim::Engine& engine, double capacity_cores,
+           SimDuration window = SimTime::seconds(1))
+      : engine_(&engine), capacity_(capacity_cores), window_(window) {}
+  ~CpuMeter() { rollover_timer_.cancel(); }
+
+  /// Begin periodic window rollover (call once the node is live).
+  void start();
+  void stop() { rollover_timer_.cancel(); }
+
+  /// Charge `cpu` of CPU time to process `pid` in the current window.
+  void account(Pid pid, SimDuration cpu);
+
+  double capacity_cores() const { return capacity_; }
+
+  /// Node utilisation over the last completed window, in [0, 1] (capped).
+  double node_utilization() const;
+  /// Uncapped demand over the last completed window (may exceed 1).
+  double node_demand() const;
+  /// CPU cores consumed by `pid` over the last completed window (0 if unknown).
+  double process_cores(Pid pid) const;
+  const std::unordered_map<Pid, double>& per_process_cores() const {
+    return last_per_process_;
+  }
+
+ private:
+  void rollover();
+
+  sim::Engine* engine_;
+  double capacity_;
+  SimDuration window_;
+  sim::TimerHandle rollover_timer_;
+
+  // Current (accumulating) window.
+  std::unordered_map<Pid, std::int64_t> cur_ns_;
+  std::int64_t cur_total_ns_{0};
+  // Last completed window, normalised to cores.
+  std::unordered_map<Pid, double> last_per_process_;
+  double last_total_cores_{0};
+};
+
+}  // namespace dvemig::proc

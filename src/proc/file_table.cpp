@@ -1,0 +1,68 @@
+#include "src/proc/file_table.hpp"
+
+namespace dvemig::proc {
+
+Fd FileTable::next_fd() {
+  while (entries_.contains(next_fd_)) ++next_fd_;
+  return next_fd_++;
+}
+
+Fd FileTable::open_file(std::string path, std::uint32_t flags) {
+  const Fd fd = next_fd();
+  entries_.emplace(fd, OpenFile{FileKind::regular, std::move(path), 0, flags, nullptr});
+  return fd;
+}
+
+Fd FileTable::attach_socket(std::shared_ptr<stack::Socket> socket) {
+  DVEMIG_EXPECTS(socket != nullptr);
+  const Fd fd = next_fd();
+  entries_.emplace(fd, OpenFile{FileKind::socket, {}, 0, 0, std::move(socket)});
+  return fd;
+}
+
+void FileTable::attach_socket_at(Fd fd, std::shared_ptr<stack::Socket> socket) {
+  DVEMIG_EXPECTS(socket != nullptr);
+  DVEMIG_EXPECTS(!entries_.contains(fd));
+  entries_.emplace(fd, OpenFile{FileKind::socket, {}, 0, 0, std::move(socket)});
+}
+
+void FileTable::open_file_at(Fd fd, std::string path, std::uint64_t offset,
+                             std::uint32_t flags) {
+  DVEMIG_EXPECTS(!entries_.contains(fd));
+  entries_.emplace(fd, OpenFile{FileKind::regular, std::move(path), offset, flags, nullptr});
+}
+
+void FileTable::seek(Fd fd, std::uint64_t offset) {
+  OpenFile& f = get(fd);
+  DVEMIG_EXPECTS(f.kind == FileKind::regular);
+  f.offset = offset;
+}
+
+void FileTable::close(Fd fd) {
+  const auto it = entries_.find(fd);
+  DVEMIG_EXPECTS(it != entries_.end());
+  entries_.erase(it);
+  if (fd < next_fd_) next_fd_ = fd;  // lowest-free-fd semantics, like POSIX
+}
+
+const OpenFile& FileTable::get(Fd fd) const {
+  const auto it = entries_.find(fd);
+  DVEMIG_EXPECTS(it != entries_.end());
+  return it->second;
+}
+
+OpenFile& FileTable::get(Fd fd) {
+  const auto it = entries_.find(fd);
+  DVEMIG_EXPECTS(it != entries_.end());
+  return it->second;
+}
+
+std::size_t FileTable::socket_count() const {
+  std::size_t n = 0;
+  for (const auto& [fd, f] : entries_) {
+    if (f.kind == FileKind::socket) ++n;
+  }
+  return n;
+}
+
+}  // namespace dvemig::proc

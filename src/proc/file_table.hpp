@@ -1,0 +1,55 @@
+// Per-process file descriptor table.
+//
+// The freeze phase iterates this table (Section III-C): regular files are re-opened
+// by path on the destination (contents are assumed shared/replicated, Section II-A),
+// while sockets take the collective socket-migration path.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/assert.hpp"
+#include "src/common/types.hpp"
+#include "src/stack/socket.hpp"
+
+namespace dvemig::proc {
+
+enum class FileKind : std::uint8_t { regular, socket };
+
+struct OpenFile {
+  FileKind kind{FileKind::regular};
+  // regular
+  std::string path;
+  std::uint64_t offset{0};
+  std::uint32_t flags{0};
+  // socket
+  std::shared_ptr<stack::Socket> socket;
+};
+
+class FileTable {
+ public:
+  Fd open_file(std::string path, std::uint32_t flags = 0);
+  Fd attach_socket(std::shared_ptr<stack::Socket> socket);
+  /// Attach at a specific fd (restore path rebuilds the exact table).
+  void attach_socket_at(Fd fd, std::shared_ptr<stack::Socket> socket);
+  void open_file_at(Fd fd, std::string path, std::uint64_t offset, std::uint32_t flags);
+
+  void seek(Fd fd, std::uint64_t offset);
+  void close(Fd fd);
+
+  const OpenFile& get(Fd fd) const;
+  OpenFile& get(Fd fd);
+  bool has(Fd fd) const { return entries_.contains(fd); }
+
+  const std::map<Fd, OpenFile>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t socket_count() const;
+
+ private:
+  Fd next_fd();
+  std::map<Fd, OpenFile> entries_;  // ordered: freeze-phase iteration is by fd
+  Fd next_fd_{3};                   // 0-2 notionally stdio
+};
+
+}  // namespace dvemig::proc

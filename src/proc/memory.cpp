@@ -1,0 +1,113 @@
+#include "src/proc/memory.hpp"
+
+#include <algorithm>
+
+namespace dvemig::proc {
+
+std::uint64_t AddressSpace::mmap(std::uint64_t length, std::uint32_t prot,
+                                 std::string name, bool file_backed) {
+  DVEMIG_EXPECTS(length > 0);
+  length = (length + kPageSize - 1) / kPageSize * kPageSize;
+  const std::uint64_t start = next_addr_;
+  next_addr_ += length + kPageSize;  // one-page guard gap between areas
+
+  VmArea area{start, length, prot, file_backed, std::move(name)};
+  const auto pos = std::lower_bound(
+      areas_.begin(), areas_.end(), area,
+      [](const VmArea& a, const VmArea& b) { return a.start < b.start; });
+  areas_.insert(pos, std::move(area));
+
+  // Fresh anonymous memory has never been checkpointed: every page is dirty.
+  // File-backed pages start clean — their contents live on the (shared) file
+  // system and are never part of a checkpoint (BLCR re-opens files by path).
+  if (!file_backed) {
+    for (std::uint64_t p = start / kPageSize; p < (start + length) / kPageSize; ++p) {
+      dirty_.insert(p);
+    }
+  }
+  return start;
+}
+
+void AddressSpace::map_fixed(const VmArea& area) {
+  DVEMIG_EXPECTS(area.start % kPageSize == 0 && area.length % kPageSize == 0 &&
+                 area.length > 0);
+  DVEMIG_EXPECTS(find_area(area.start) == nullptr &&
+                 find_area(area.end() - 1) == nullptr);
+  const auto pos = std::lower_bound(
+      areas_.begin(), areas_.end(), area,
+      [](const VmArea& a, const VmArea& b) { return a.start < b.start; });
+  areas_.insert(pos, area);
+  next_addr_ = std::max(next_addr_, area.end() + kPageSize);
+}
+
+void AddressSpace::munmap(std::uint64_t start) {
+  const auto it = std::find_if(areas_.begin(), areas_.end(),
+                               [&](const VmArea& a) { return a.start == start; });
+  DVEMIG_EXPECTS(it != areas_.end());
+  for (std::uint64_t p = it->start / kPageSize; p < it->end() / kPageSize; ++p) {
+    dirty_.erase(p);
+  }
+  areas_.erase(it);
+}
+
+void AddressSpace::mprotect(std::uint64_t start, std::uint32_t prot) {
+  const auto it = std::find_if(areas_.begin(), areas_.end(),
+                               [&](const VmArea& a) { return a.start == start; });
+  DVEMIG_EXPECTS(it != areas_.end());
+  it->prot = prot;
+}
+
+const VmArea* AddressSpace::find_area(std::uint64_t addr) const {
+  for (const VmArea& a : areas_) {
+    if (a.contains(addr)) return &a;
+  }
+  return nullptr;
+}
+
+void AddressSpace::touch(std::uint64_t addr, std::uint64_t len) {
+  DVEMIG_EXPECTS(len > 0);
+  const VmArea* area = find_area(addr);
+  DVEMIG_EXPECTS(area != nullptr && area->contains(addr + len - 1));
+  DVEMIG_EXPECTS((area->prot & prot_write) != 0);
+  for (std::uint64_t p = addr / kPageSize; p <= (addr + len - 1) / kPageSize; ++p) {
+    dirty_.insert(p);
+  }
+}
+
+void AddressSpace::touch_random(Rng& rng, std::uint64_t count) {
+  // Collect writable page ranges once; pick uniformly among them.
+  std::vector<const VmArea*> writable;
+  std::uint64_t total = 0;
+  for (const VmArea& a : areas_) {
+    if ((a.prot & prot_write) != 0) {
+      writable.push_back(&a);
+      total += a.pages();
+    }
+  }
+  if (total == 0) return;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t k = rng.next_below(total);
+    for (const VmArea* a : writable) {
+      if (k < a->pages()) {
+        dirty_.insert(a->start / kPageSize + k);
+        break;
+      }
+      k -= a->pages();
+    }
+  }
+}
+
+std::vector<std::uint64_t> AddressSpace::collect_and_clear_dirty() {
+  std::vector<std::uint64_t> pages(dirty_.begin(), dirty_.end());
+  std::sort(pages.begin(), pages.end());
+  dirty_.clear();
+  return pages;
+}
+
+std::uint64_t AddressSpace::total_pages() const {
+  std::uint64_t n = 0;
+  for (const VmArea& a : areas_) n += a.pages();
+  return n;
+}
+
+}  // namespace dvemig::proc

@@ -1,0 +1,81 @@
+// Process address space: vm_area list + per-page dirty bits.
+//
+// This is the surface the precopy mechanism works against (Section V-A): the
+// dirty-bit scan (`collect_and_clear_dirty`) stands in for walking PTE dirty bits,
+// and the vm_area list is what the migration's own tracking list is diffed against
+// each incremental loop.
+//
+// Page *contents* are not stored — the simulator transfers synthetic bytes of the
+// right size — so a multi-gigabyte simulated cluster fits in host memory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/assert.hpp"
+#include "src/common/rng.hpp"
+
+namespace dvemig::proc {
+
+inline constexpr std::uint64_t kPageSize = 4096;
+
+enum ProtBits : std::uint32_t {
+  prot_read = 1,
+  prot_write = 2,
+  prot_exec = 4,
+};
+
+struct VmArea {
+  std::uint64_t start{0};   // page aligned
+  std::uint64_t length{0};  // page aligned, > 0
+  std::uint32_t prot{prot_read | prot_write};
+  bool file_backed{false};
+  std::string name;  // "[heap]", "[stack]", "libfoo.so", …
+
+  std::uint64_t end() const { return start + length; }
+  std::uint64_t pages() const { return length / kPageSize; }
+  bool contains(std::uint64_t addr) const { return addr >= start && addr < end(); }
+};
+
+class AddressSpace {
+ public:
+  /// Map a new area; returns its start address (simple bump allocation).
+  std::uint64_t mmap(std::uint64_t length, std::uint32_t prot, std::string name,
+                     bool file_backed = false);
+
+  /// Restore path: map an area at its exact original address. Pages arrive clean
+  /// (their content was just transferred by the checkpoint).
+  void map_fixed(const VmArea& area);
+
+  /// Unmap the area starting at `start` (must match an existing area exactly).
+  void munmap(std::uint64_t start);
+
+  /// Change protection bits of the area starting at `start`.
+  void mprotect(std::uint64_t start, std::uint32_t prot);
+
+  const VmArea* find_area(std::uint64_t addr) const;
+  const std::vector<VmArea>& areas() const { return areas_; }
+
+  /// Write access: mark the touched pages dirty.
+  void touch(std::uint64_t addr, std::uint64_t len);
+
+  /// Dirty `count` randomly chosen writable pages (models application activity).
+  void touch_random(Rng& rng, std::uint64_t count);
+
+  /// The dirty-bit scan: return all dirty page numbers and clear their bits.
+  std::vector<std::uint64_t> collect_and_clear_dirty();
+
+  std::size_t dirty_pages() const { return dirty_.size(); }
+  std::uint64_t total_pages() const;
+  std::uint64_t total_bytes() const { return total_pages() * kPageSize; }
+
+ private:
+  std::vector<VmArea> areas_;  // sorted by start, non-overlapping
+  std::unordered_set<std::uint64_t> dirty_;  // page numbers (addr / kPageSize)
+  std::uint64_t next_addr_{0x10000};
+};
+
+}  // namespace dvemig::proc

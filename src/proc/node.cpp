@@ -1,0 +1,41 @@
+#include "src/proc/node.hpp"
+
+namespace dvemig::proc {
+
+Node::Node(sim::Engine& engine, NodeConfig config)
+    : engine_(&engine),
+      config_(std::move(config)),
+      stack_(engine, config_.name, config_.clock_offset),
+      cpu_(engine, config_.cpu_cores) {
+  cpu_.start();
+}
+
+Pid Node::allocate_pid() {
+  static std::uint32_t counter = 1000;
+  return Pid{++counter};
+}
+
+std::shared_ptr<Process> Node::spawn(std::string name) {
+  auto proc = std::make_shared<Process>(*this, allocate_pid(), std::move(name));
+  processes_.emplace(proc->pid(), proc);
+  return proc;
+}
+
+void Node::adopt(std::shared_ptr<Process> proc) {
+  DVEMIG_EXPECTS(proc != nullptr);
+  DVEMIG_EXPECTS(!processes_.contains(proc->pid()));
+  processes_.emplace(proc->pid(), std::move(proc));
+}
+
+void Node::kill(Pid pid) {
+  const auto it = processes_.find(pid);
+  DVEMIG_EXPECTS(it != processes_.end());
+  processes_.erase(it);
+}
+
+std::shared_ptr<Process> Node::find(Pid pid) const {
+  const auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : it->second;
+}
+
+}  // namespace dvemig::proc

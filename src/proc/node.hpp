@@ -1,0 +1,64 @@
+// A DVE server node: two network interfaces (shared public IP + unique local IP),
+// a network stack, a CPU meter and a set of processes.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/proc/cpu_meter.hpp"
+#include "src/proc/process.hpp"
+#include "src/stack/net_stack.hpp"
+
+namespace dvemig::proc {
+
+struct NodeConfig {
+  NodeId id{};
+  std::string name;
+  net::Ipv4Addr public_addr{};  // the cluster-wide shared IP
+  net::Ipv4Addr local_addr{};   // unique in-cluster IP
+  double cpu_cores{2.0};        // the paper's nodes: dual-core Opterons
+  SimDuration clock_offset{SimTime::zero()};  // boot-time skew (drives jiffies)
+};
+
+class Node {
+ public:
+  Node(sim::Engine& engine, NodeConfig config);
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return config_.id; }
+  const std::string& name() const { return config_.name; }
+  net::Ipv4Addr public_addr() const { return config_.public_addr; }
+  net::Ipv4Addr local_addr() const { return config_.local_addr; }
+
+  sim::Engine& engine() const { return *engine_; }
+  stack::NetStack& stack() { return stack_; }
+  CpuMeter& cpu() { return cpu_; }
+  const CpuMeter& cpu() const { return cpu_; }
+
+  /// Create a process on this node.
+  std::shared_ptr<Process> spawn(std::string name);
+  /// Adopt a process object restored by the migration machinery.
+  void adopt(std::shared_ptr<Process> proc);
+  /// Remove a process (end of migration on the source, or app exit).
+  void kill(Pid pid);
+
+  std::shared_ptr<Process> find(Pid pid) const;
+  const std::map<Pid, std::shared_ptr<Process>>& processes() const {
+    return processes_;
+  }
+
+  /// Cluster-unique pid allocation (shared across all nodes, like a cluster PID
+  /// namespace — keeps pids stable across migrations).
+  static Pid allocate_pid();
+
+ private:
+  sim::Engine* engine_;
+  NodeConfig config_;
+  stack::NetStack stack_;
+  CpuMeter cpu_;
+  std::map<Pid, std::shared_ptr<Process>> processes_;
+};
+
+}  // namespace dvemig::proc

@@ -1,0 +1,41 @@
+#include "src/proc/process.hpp"
+
+#include "src/proc/node.hpp"
+
+namespace dvemig::proc {
+
+Process::Process(Node& node, Pid pid, std::string name)
+    : node_(&node), pid_(pid), name_(std::move(name)), rng_(0xF00DULL ^ pid.value) {
+  // Every process starts with a main thread and a default-ish signal table.
+  add_thread();
+  signal_handlers_[15 /*SIGTERM*/] = 0;
+  signal_handlers_[10 /*SIGUSR1, BLCR's checkpoint signal*/] = 0xC0DE0000;
+}
+
+ThreadContext& Process::add_thread() {
+  ThreadContext t;
+  t.tid = next_tid_++;
+  t.pc = 0x400000 + t.tid * 0x10;
+  t.sp = 0x7FFF0000 - t.tid * 0x100000;
+  for (std::size_t i = 0; i < t.gp_regs.size(); ++i) {
+    t.gp_regs[i] = (std::uint64_t{pid_.value} << 32) | (t.tid << 8) | i;
+  }
+  threads_.push_back(t);
+  return threads_.back();
+}
+
+void Process::freeze() {
+  DVEMIG_EXPECTS(!frozen_);
+  frozen_ = true;
+  if (app_) app_->stop();
+}
+
+void Process::resume() {
+  DVEMIG_EXPECTS(frozen_);
+  frozen_ = false;
+  if (app_) app_->start(*this);
+}
+
+void Process::account_cpu(SimDuration cpu) { node_->cpu().account(pid_, cpu); }
+
+}  // namespace dvemig::proc

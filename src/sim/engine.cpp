@@ -1,0 +1,44 @@
+#include "src/sim/engine.hpp"
+
+namespace dvemig::sim {
+
+bool Engine::fire_next() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (!*ev.alive) continue;  // cancelled timer — skip
+    DVEMIG_ASSERT(ev.when >= now_);
+    now_ = ev.when;
+    *ev.alive = false;  // consume before firing so re-arming inside fn works
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Engine::run(std::size_t limit) {
+  std::size_t fired = 0;
+  while (fired < limit && fire_next()) ++fired;
+  return fired;
+}
+
+std::size_t Engine::run_until(SimTime until) {
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    // Peek through cancelled entries to find the next live event time.
+    if (!*queue_.top().alive) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > until) break;
+    if (fire_next()) ++fired;
+  }
+  if (now_ < until) now_ = until;
+  return fired;
+}
+
+void Engine::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace dvemig::sim

@@ -1,0 +1,101 @@
+// Discrete-event simulation engine.
+//
+// One global event queue ordered by (time, sequence number). The sequence number makes
+// same-timestamp ordering deterministic: two runs with the same seed schedule and fire
+// events identically, which the experiment harnesses rely on.
+//
+// Everything in the simulated cluster — links, TCP timers, zone-server ticks, conductor
+// heartbeats — is an event. The engine is intentionally single-threaded; parallelising a
+// DES would trade reproducibility for speed the experiments do not need.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/assert.hpp"
+#include "src/common/types.hpp"
+
+namespace dvemig::sim {
+
+using EventFn = std::function<void()>;
+
+/// Cancellable handle to a scheduled event. Cancellation is lazy: the queue entry
+/// stays but is skipped on pop. This is how the TCP retransmission timer is
+/// "cleared" during socket migration.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  /// Cancel the pending event. Safe to call repeatedly or on an empty handle.
+  void cancel() {
+    if (alive_) *alive_ = false;
+    alive_.reset();
+  }
+
+  bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class Engine;
+  explicit TimerHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `when` (must not be in the past).
+  TimerHandle schedule_at(SimTime when, EventFn fn) {
+    DVEMIG_EXPECTS(when >= now_);
+    auto alive = std::make_shared<bool>(true);
+    queue_.push(Event{when, next_seq_++, alive, std::move(fn)});
+    return TimerHandle{alive};
+  }
+
+  /// Schedule `fn` to run `delay` after the current time.
+  TimerHandle schedule_after(SimDuration delay, EventFn fn) {
+    DVEMIG_EXPECTS(delay.ns >= 0);
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Run events until the queue drains or `limit` events fire. Returns events fired.
+  std::size_t run(std::size_t limit = SIZE_MAX);
+
+  /// Run events with timestamp <= `until`; afterwards now() == max(now, until).
+  std::size_t run_until(SimTime until);
+
+  /// Drop every pending event (used between independent experiment repetitions).
+  void clear();
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::shared_ptr<bool> alive;
+    EventFn fn;
+  };
+
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool fire_next();
+
+  SimTime now_{SimTime::zero()};
+  std::uint64_t next_seq_{0};
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace dvemig::sim

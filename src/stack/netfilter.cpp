@@ -1,0 +1,41 @@
+#include "src/stack/netfilter.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+
+namespace dvemig::stack {
+
+HookHandle NetfilterChain::register_hook(Hook hook, int priority, HookFn fn) {
+  DVEMIG_EXPECTS(fn != nullptr);
+  auto alive = std::make_shared<bool>(true);
+  auto& entries = chain(hook);
+  Entry entry{priority, next_seq_++, alive, std::move(fn)};
+  const auto pos = std::upper_bound(
+      entries.begin(), entries.end(), entry, [](const Entry& a, const Entry& b) {
+        return a.priority != b.priority ? a.priority < b.priority : a.seq < b.seq;
+      });
+  entries.insert(pos, std::move(entry));
+  return HookHandle{alive};
+}
+
+Verdict NetfilterChain::run(Hook hook, net::Packet& p) {
+  auto& entries = chain(hook);
+  // Prune dead registrations first so iteration below stays simple even if a hook
+  // releases itself (or another) mid-run — released hooks fire at most this pass.
+  std::erase_if(entries, [](const Entry& e) { return !*e.alive; });
+  for (const auto& entry : entries) {
+    if (!*entry.alive) continue;
+    const Verdict v = entry.fn(p);
+    if (v != Verdict::accept) return v;
+  }
+  return Verdict::accept;
+}
+
+std::size_t NetfilterChain::hook_count(Hook hook) const {
+  const auto& entries = chain(hook);
+  return static_cast<std::size_t>(
+      std::count_if(entries.begin(), entries.end(), [](const Entry& e) { return *e.alive; }));
+}
+
+}  // namespace dvemig::stack

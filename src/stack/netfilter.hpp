@@ -1,0 +1,75 @@
+// Netfilter-style hook chains (Section V-B, V-D).
+//
+// Two hook points are modelled, matching the ones the paper's kernel module uses:
+//  - `local_in`  (NF_INET_LOCAL_IN)  — packets about to be delivered to this host;
+//    the capture filter (loss prevention) and the incoming half of the translation
+//    filter attach here;
+//  - `local_out` (NF_INET_LOCAL_OUT) — packets emitted by local sockets; the outgoing
+//    half of the translation filter attaches here.
+//
+// Hooks run in ascending priority order. A hook may mutate the packet (translation),
+// steal it (capture), or drop it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/net/packet.hpp"
+
+namespace dvemig::stack {
+
+enum class Hook : std::uint8_t { local_in = 0, local_out = 1 };
+
+enum class Verdict : std::uint8_t {
+  accept,  // continue down the chain / into the stack
+  stolen,  // hook took ownership (e.g. queued for reinjection); stop processing
+  drop,    // discard
+};
+
+using HookFn = std::function<Verdict(net::Packet&)>;
+
+/// RAII registration handle; unregisters on destruction or explicit release().
+class HookHandle {
+ public:
+  HookHandle() = default;
+  void release() {
+    if (alive_) *alive_ = false;
+    alive_.reset();
+  }
+  bool registered() const { return alive_ && *alive_; }
+
+ private:
+  friend class NetfilterChain;
+  explicit HookHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class NetfilterChain {
+ public:
+  [[nodiscard]] HookHandle register_hook(Hook hook, int priority, HookFn fn);
+
+  /// Run the chain for `hook` over `p`. Dead registrations are pruned lazily.
+  Verdict run(Hook hook, net::Packet& p);
+
+  std::size_t hook_count(Hook hook) const;
+
+ private:
+  struct Entry {
+    int priority;
+    std::uint64_t seq;  // stable order among equal priorities
+    std::shared_ptr<bool> alive;
+    HookFn fn;
+  };
+
+  std::vector<Entry>& chain(Hook hook) { return chains_[static_cast<int>(hook)]; }
+  const std::vector<Entry>& chain(Hook hook) const {
+    return chains_[static_cast<int>(hook)];
+  }
+
+  std::vector<Entry> chains_[2];
+  std::uint64_t next_seq_{0};
+};
+
+}  // namespace dvemig::stack

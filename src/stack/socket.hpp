@@ -1,0 +1,44 @@
+// Socket base type shared by the UDP and TCP implementations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/net/address.hpp"
+
+namespace dvemig::stack {
+
+class NetStack;
+
+enum class SocketType : std::uint8_t { udp, tcp };
+
+class Socket : public std::enable_shared_from_this<Socket> {
+ public:
+  virtual ~Socket() = default;
+
+  SocketType type() const { return type_; }
+  const net::Endpoint& local() const { return local_; }
+  const net::Endpoint& remote() const { return remote_; }
+  NetStack& stack() const { return *stack_; }
+
+  /// Unique per-stack-creation id, used by the dst cache and trace logs.
+  std::uint64_t sock_id() const { return sock_id_; }
+
+  /// True once the socket has been unhashed for migration: it no longer receives
+  /// packets and must not transmit.
+  bool migration_disabled() const { return migration_disabled_; }
+  void set_migration_disabled(bool v) { migration_disabled_ = v; }
+
+ protected:
+  Socket(NetStack& stack, SocketType type, std::uint64_t sock_id)
+      : stack_(&stack), type_(type), sock_id_(sock_id) {}
+
+  NetStack* stack_;
+  SocketType type_;
+  std::uint64_t sock_id_;
+  net::Endpoint local_{};
+  net::Endpoint remote_{};
+  bool migration_disabled_{false};
+};
+
+}  // namespace dvemig::stack

@@ -1,0 +1,84 @@
+#include "src/stack/socket_table.hpp"
+
+#include <algorithm>
+
+namespace dvemig::stack {
+
+void SocketTable::ehash_insert(const std::shared_ptr<TcpSocket>& sock,
+                               const FourTuple& key) {
+  DVEMIG_EXPECTS(sock != nullptr);
+  const auto [it, inserted] = ehash_.emplace(key, sock);
+  (void)it;
+  DVEMIG_EXPECTS(inserted);  // duplicate 4-tuples would mean two owners of a connection
+  tcp_local_ports_[key.local.port] += 1;
+}
+
+void SocketTable::ehash_remove(const FourTuple& key) {
+  const std::size_t erased = ehash_.erase(key);
+  DVEMIG_EXPECTS(erased == 1);
+  auto it = tcp_local_ports_.find(key.local.port);
+  DVEMIG_ASSERT(it != tcp_local_ports_.end());
+  if (--it->second == 0) tcp_local_ports_.erase(it);
+}
+
+std::shared_ptr<TcpSocket> SocketTable::ehash_lookup(const FourTuple& key) const {
+  const auto it = ehash_.find(key);
+  return it == ehash_.end() ? nullptr : it->second;
+}
+
+void SocketTable::bhash_insert(const std::shared_ptr<Socket>& sock, net::Port port) {
+  DVEMIG_EXPECTS(sock != nullptr && port != 0);
+  auto& bucket = bhash_[port];
+  for (const auto& s : bucket) {
+    // One bound socket per (port, protocol); no SO_REUSEPORT in this stack.
+    DVEMIG_EXPECTS(s->type() != sock->type());
+  }
+  bucket.push_back(sock);
+}
+
+void SocketTable::bhash_remove(const Socket& sock, net::Port port) {
+  auto it = bhash_.find(port);
+  DVEMIG_EXPECTS(it != bhash_.end());
+  auto& bucket = it->second;
+  const auto pos = std::find_if(bucket.begin(), bucket.end(),
+                                [&](const auto& s) { return s.get() == &sock; });
+  DVEMIG_EXPECTS(pos != bucket.end());
+  bucket.erase(pos);
+  if (bucket.empty()) bhash_.erase(it);
+}
+
+std::vector<std::shared_ptr<Socket>> SocketTable::bhash_lookup(net::Port port) const {
+  const auto it = bhash_.find(port);
+  return it == bhash_.end() ? std::vector<std::shared_ptr<Socket>>{} : it->second;
+}
+
+bool SocketTable::port_bound(net::Port port, SocketType type) const {
+  const auto it = bhash_.find(port);
+  if (it == bhash_.end()) return false;
+  return std::any_of(it->second.begin(), it->second.end(),
+                     [&](const auto& s) { return s->type() == type; });
+}
+
+std::size_t SocketTable::bhash_size() const {
+  std::size_t n = 0;
+  for (const auto& [port, bucket] : bhash_) n += bucket.size();
+  return n;
+}
+
+net::Port SocketTable::allocate_ephemeral_port(SocketType type) {
+  for (int attempts = 0; attempts < 16384; ++attempts) {
+    const net::Port candidate = next_ephemeral_;
+    next_ephemeral_ = next_ephemeral_ == 65535 ? 49152 : next_ephemeral_ + 1;
+    if (port_bound(candidate, type)) continue;
+    if (type == SocketType::tcp && tcp_local_ports_.contains(candidate)) continue;
+    return candidate;
+  }
+  DVEMIG_UNREACHABLE("ephemeral port space exhausted");
+}
+
+void SocketTable::set_ephemeral_start(net::Port port) {
+  DVEMIG_EXPECTS(port >= 49152);
+  next_ephemeral_ = port;
+}
+
+}  // namespace dvemig::stack

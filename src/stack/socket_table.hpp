@@ -1,0 +1,73 @@
+// Socket lookup tables, mirroring the two kernel hashtables the paper manipulates:
+//
+//  - `ehash` — established TCP connections, keyed by the full 4-tuple;
+//  - `bhash` — bound sockets (TCP listeners and UDP), keyed by local port.
+//
+// Socket migration (Section V-C) begins by *unhashing* a socket from both tables —
+// after which the stack no longer delivers packets to it — and ends by *rehashing*
+// it on the destination node.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/assert.hpp"
+#include "src/net/address.hpp"
+#include "src/stack/socket.hpp"
+
+namespace dvemig::stack {
+
+class TcpSocket;
+class UdpSocket;
+
+struct FourTuple {
+  net::Endpoint local;
+  net::Endpoint remote;
+  constexpr auto operator<=>(const FourTuple&) const = default;
+};
+
+struct FourTupleHash {
+  std::size_t operator()(const FourTuple& t) const noexcept {
+    const std::uint64_t a = (std::uint64_t{t.local.addr.value} << 16) ^ t.local.port;
+    const std::uint64_t b = (std::uint64_t{t.remote.addr.value} << 16) ^ t.remote.port;
+    return std::hash<std::uint64_t>{}(a * 0x9E3779B97F4A7C15ULL ^ b);
+  }
+};
+
+class SocketTable {
+ public:
+  // --- ehash (established TCP) ---
+
+  void ehash_insert(const std::shared_ptr<TcpSocket>& sock, const FourTuple& key);
+  void ehash_remove(const FourTuple& key);
+  std::shared_ptr<TcpSocket> ehash_lookup(const FourTuple& key) const;
+  std::size_t ehash_size() const { return ehash_.size(); }
+
+  // --- bhash (bound: TCP listeners + UDP) ---
+
+  void bhash_insert(const std::shared_ptr<Socket>& sock, net::Port port);
+  void bhash_remove(const Socket& sock, net::Port port);
+  /// All sockets bound to `port` (there may be a TCP listener and a UDP socket).
+  std::vector<std::shared_ptr<Socket>> bhash_lookup(net::Port port) const;
+  bool port_bound(net::Port port, SocketType type) const;
+  std::size_t bhash_size() const;
+
+  /// Allocate an unused ephemeral port (49152+) for the given protocol. For TCP
+  /// this also avoids local ports of established connections — a migrated socket
+  /// keeps its source-node port, so the destination must never hand the same port
+  /// to a new connection toward the same peer.
+  net::Port allocate_ephemeral_port(SocketType type);
+
+  /// Start the ephemeral scan at a per-host position (reduces the chance that two
+  /// hosts pick equal ports for connections that might later share a node).
+  void set_ephemeral_start(net::Port port);
+
+ private:
+  std::unordered_map<FourTuple, std::shared_ptr<TcpSocket>, FourTupleHash> ehash_;
+  std::unordered_map<net::Port, std::vector<std::shared_ptr<Socket>>> bhash_;
+  std::unordered_map<net::Port, std::uint32_t> tcp_local_ports_;  // refcounts
+  net::Port next_ephemeral_{49152};
+};
+
+}  // namespace dvemig::stack

@@ -1,0 +1,64 @@
+#include "src/stack/tracer.hpp"
+
+#include <climits>
+#include <cstdio>
+
+namespace dvemig::stack {
+
+PacketTracer::PacketTracer(NetStack& stack, std::size_t max_records)
+    : stack_(&stack), max_records_(max_records) {
+  in_hook_ = stack_->netfilter().register_hook(
+      Hook::local_in, INT_MIN,
+      [this](net::Packet& p) { return observe(Direction::in, p); });
+  out_hook_ = stack_->netfilter().register_hook(
+      Hook::local_out, INT_MAX,
+      [this](net::Packet& p) { return observe(Direction::out, p); });
+}
+
+PacketTracer::~PacketTracer() {
+  in_hook_.release();
+  out_hook_.release();
+}
+
+Verdict PacketTracer::observe(Direction dir, const net::Packet& p) {
+  if (!filter_ || filter_(p)) {
+    if (records_.size() < max_records_) {
+      records_.push_back(Record{stack_->engine().now(), dir, p});
+    } else {
+      dropped_ += 1;
+    }
+  }
+  return Verdict::accept;
+}
+
+std::string PacketTracer::format(const Record& rec) {
+  char buf[192];
+  const net::Packet& p = rec.packet;
+  std::string flags;
+  if (p.proto == net::IpProto::tcp) {
+    flags = " [";
+    if (p.tcp.has(net::tcp_flags::syn)) flags += "S";
+    if (p.tcp.has(net::tcp_flags::ack)) flags += ".";
+    if (p.tcp.has(net::tcp_flags::fin)) flags += "F";
+    if (p.tcp.has(net::tcp_flags::rst)) flags += "R";
+    flags += "] seq " + std::to_string(p.tcp.seq);
+  }
+  std::snprintf(buf, sizeof buf, "%11.6f %s %s %s:%u > %s:%u len %zu%s",
+                rec.t.to_sec(), rec.dir == Direction::in ? "IN " : "OUT",
+                p.proto == net::IpProto::tcp ? "TCP" : "UDP",
+                p.src.to_string().c_str(), p.sport(), p.dst.to_string().c_str(),
+                p.dport(), p.payload.size(), flags.c_str());
+  return buf;
+}
+
+std::string PacketTracer::dump() const {
+  std::string out;
+  out.reserve(records_.size() * 80);
+  for (const Record& rec : records_) {
+    out += format(rec);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dvemig::stack

@@ -1,0 +1,59 @@
+// Packet tracer — the simulator's tcpdump (Section VI-B captures server packets
+// with tcpdump to assess migration delay at the network packet level).
+//
+// Attaches at the edges of a host's netfilter chains: inbound packets are seen
+// before any capture/translation hook runs, outbound packets after every hook
+// (i.e. as they appear on the wire). Purely observational: always accepts.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/stack/net_stack.hpp"
+
+namespace dvemig::stack {
+
+class PacketTracer {
+ public:
+  enum class Direction : std::uint8_t { in, out };
+
+  struct Record {
+    SimTime t{};
+    Direction dir{Direction::in};
+    net::Packet packet;
+  };
+
+  /// Attach to `stack`; recording starts immediately and stops at destruction.
+  explicit PacketTracer(NetStack& stack, std::size_t max_records = 1u << 20);
+  ~PacketTracer();
+  PacketTracer(const PacketTracer&) = delete;
+  PacketTracer& operator=(const PacketTracer&) = delete;
+
+  /// Only record packets for which `fn` returns true (e.g. one UDP port).
+  void set_filter(std::function<bool(const net::Packet&)> fn) {
+    filter_ = std::move(fn);
+  }
+
+  const std::vector<Record>& records() const { return records_; }
+  std::size_t dropped_by_cap() const { return dropped_; }
+  void clear() { records_.clear(); }
+
+  /// tcpdump-style text, one line per packet:
+  ///   2.000157 OUT UDP 203.0.113.10:27960 > 100.64.1.1:49907 len 256
+  std::string dump() const;
+  static std::string format(const Record& rec);
+
+ private:
+  Verdict observe(Direction dir, const net::Packet& p);
+
+  NetStack* stack_;
+  std::size_t max_records_;
+  std::function<bool(const net::Packet&)> filter_;
+  std::vector<Record> records_;
+  std::size_t dropped_{0};
+  HookHandle in_hook_;
+  HookHandle out_hook_;
+};
+
+}  // namespace dvemig::stack

@@ -1,0 +1,145 @@
+// Unit tests for src/common: binary serialization, hashing, RNG, time types.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/common/serial.hpp"
+#include "src/common/types.hpp"
+
+namespace dvemig {
+namespace {
+
+TEST(SimTimeTest, UnitConversions) {
+  EXPECT_EQ(SimTime::microseconds(3).ns, 3'000);
+  EXPECT_EQ(SimTime::milliseconds(3).ns, 3'000'000);
+  EXPECT_EQ(SimTime::seconds(3).ns, 3'000'000'000);
+  EXPECT_DOUBLE_EQ(SimTime::milliseconds(1500).to_sec(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime::microseconds(1500).to_ms(), 1.5);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const SimTime a = SimTime::milliseconds(10);
+  const SimTime b = SimTime::milliseconds(4);
+  EXPECT_EQ((a + b).ns, SimTime::milliseconds(14).ns);
+  EXPECT_EQ((a - b).ns, SimTime::milliseconds(6).ns);
+  EXPECT_EQ((b * 3).ns, SimTime::milliseconds(12).ns);
+  EXPECT_EQ((a / 2).ns, SimTime::milliseconds(5).ns);
+  EXPECT_LT(b, a);
+}
+
+TEST(BinaryRoundTrip, Scalars) {
+  BinaryWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i32(-42);
+  w.i64(-1234567890123LL);
+  w.f64(3.14159);
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123LL);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BinaryRoundTrip, BlobsAndStrings) {
+  BinaryWriter w;
+  w.blob(Buffer{1, 2, 3, 4, 5});
+  w.str("hello dvemig");
+  w.blob({});
+  w.str("");
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.blob(), (Buffer{1, 2, 3, 4, 5}));
+  EXPECT_EQ(r.str(), "hello dvemig");
+  EXPECT_TRUE(r.blob().empty());
+  EXPECT_TRUE(r.str().empty());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BinaryRoundTrip, SkipAndRemaining) {
+  BinaryWriter w;
+  w.u32(7);
+  w.bytes(Buffer(100, 0xEE));
+  w.u32(9);
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_EQ(r.remaining(), 104u);
+  r.skip(100);
+  EXPECT_EQ(r.u32(), 9u);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BinaryRoundTrip, LittleEndianLayout) {
+  BinaryWriter w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.buffer()[0], 0x04);  // LSB first
+  EXPECT_EQ(w.buffer()[3], 0x01);
+}
+
+TEST(Fnv1aTest, KnownValuesAndSensitivity) {
+  const Buffer empty;
+  EXPECT_EQ(fnv1a(empty), 0xCBF29CE484222325ULL);  // FNV offset basis
+  const Buffer a{'a'};
+  const Buffer b{'b'};
+  EXPECT_NE(fnv1a(a), fnv1a(b));
+  Buffer long1(1000, 0x11);
+  Buffer long2 = long1;
+  long2[999] = 0x12;
+  EXPECT_NE(fnv1a(long1), fnv1a(long2));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    (void)c.next_u64();
+  }
+  Rng a2(123), c2(124);
+  EXPECT_NE(a2.next_u64(), c2.next_u64());
+}
+
+TEST(RngTest, NextBelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng rng(99);
+  bool seen[10] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.next_below(10)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);  // mean of U(0,1)
+}
+
+TEST(RngTest, ChanceProbability) {
+  Rng rng(31);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace dvemig

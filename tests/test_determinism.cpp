@@ -1,0 +1,114 @@
+// Reproducibility: identical configurations must produce bit-identical packet
+// timelines, migration timings and experiment outputs — the property every
+// benchmark in bench/ relies on.
+#include <gtest/gtest.h>
+
+#include "src/dve/population.hpp"
+#include "src/dve/testbed.hpp"
+#include "src/dve/zone_server.hpp"
+#include "src/stack/tracer.hpp"
+
+namespace dvemig {
+namespace {
+
+std::string run_traced_scenario() {
+  dve::TestbedConfig cfg;
+  cfg.dve_nodes = 2;
+  dve::Testbed bed(cfg);
+  stack::PacketTracer tracer(bed.node(1).node.stack());
+
+  dve::ZoneServerConfig zs;
+  zs.zone = 3;
+  zs.active_updates = true;
+  zs.db_addr = bed.db_node()->local_addr();
+  auto proc = dve::ZoneServerApp::launch(bed.node(0).node, zs);
+
+  std::vector<std::unique_ptr<dve::TcpDveClient>> clients;
+  for (int i = 0; i < 6; ++i) {
+    auto c = std::make_unique<dve::TcpDveClient>(bed.make_client_host(),
+                                                 bed.public_ip());
+    c->set_active(SimTime::milliseconds(50), 40);
+    c->connect_to_zone(zs.zone);
+    clients.push_back(std::move(c));
+  }
+  bed.run_for(SimTime::seconds(1));
+
+  bool done = false;
+  bed.node(0).migd.migrate(proc->pid(), bed.node(1).node.local_addr(),
+                           mig::SocketMigStrategy::incremental_collective,
+                           [&](const mig::MigrationStats&) { done = true; });
+  bed.run_for(SimTime::seconds(3));
+  EXPECT_TRUE(done);
+  return tracer.dump();
+}
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalPacketTimelines) {
+  const std::string first = run_traced_scenario();
+  const std::string second = run_traced_scenario();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(DeterminismTest, MigrationStatsBitIdenticalAcrossRuns) {
+  auto run_once = [] {
+    dve::TestbedConfig cfg;
+    cfg.dve_nodes = 2;
+    dve::Testbed bed(cfg);
+    dve::ZoneServerConfig zs;
+    zs.zone = 1;
+    zs.db_addr = bed.db_node()->local_addr();
+    auto proc = dve::ZoneServerApp::launch(bed.node(0).node, zs);
+    bed.run_for(SimTime::seconds(1));
+    mig::MigrationStats stats;
+    bool done = false;
+    bed.node(0).migd.migrate(proc->pid(), bed.node(1).node.local_addr(),
+                             mig::SocketMigStrategy::collective,
+                             [&](const mig::MigrationStats& s) {
+                               stats = s;
+                               done = true;
+                             });
+    bed.run_for(SimTime::seconds(3));
+    EXPECT_TRUE(done);
+    return stats;
+  };
+  const mig::MigrationStats a = run_once();
+  const mig::MigrationStats b = run_once();
+  EXPECT_EQ(a.t_freeze_begin.ns, b.t_freeze_begin.ns);
+  EXPECT_EQ(a.t_resume.ns, b.t_resume.ns);
+  EXPECT_EQ(a.precopy_channel_bytes, b.precopy_channel_bytes);
+  EXPECT_EQ(a.freeze_channel_bytes, b.freeze_channel_bytes);
+  EXPECT_EQ(a.freeze_socket_bytes, b.freeze_socket_bytes);
+  EXPECT_EQ(a.captured, b.captured);
+}
+
+TEST(DeterminismTest, PopulationMovementReproducible) {
+  auto run_once = [] {
+    dve::TestbedConfig cfg;
+    cfg.dve_nodes = 5;
+    cfg.with_db = false;
+    dve::Testbed bed(cfg);
+    dve::ZoneGrid grid;
+    for (std::uint32_t n = 0; n < 5; ++n) {
+      for (const dve::ZoneId z : grid.zones_of_node(n, 5)) {
+        dve::ZoneServerConfig zs;
+        zs.zone = z;
+        zs.use_db = false;
+        zs.heap_bytes = 1 << 20;
+        dve::ZoneServerApp::launch(bed.node(n).node, zs);
+      }
+    }
+    dve::PopulationConfig pc;
+    pc.client_count = 400;
+    pc.move_start = SimTime::seconds(3);
+    pc.move_step_prob = 0.3;
+    dve::Population pop(bed, grid, pc);
+    pop.populate();
+    pop.start_movement();
+    bed.run_for(SimTime::seconds(20));
+    return pop.clients_per_zone();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace dvemig

@@ -1,0 +1,235 @@
+// Load-balancing middleware tests: the four policies as pure functions, plus
+// conductor integration on a small cluster (discovery, heartbeats, two-phase
+// commit, calm-down, and an actual policy-driven migration).
+#include <gtest/gtest.h>
+
+#include "src/dve/testbed.hpp"
+#include "src/dve/zone_server.hpp"
+#include "src/lb/conductor.hpp"
+#include "src/lb/policies.hpp"
+
+namespace dvemig::lb {
+namespace {
+
+// ------------------------------------------------------------- transfer policy
+
+TEST(TransferPolicyTest, OverloadThresholdTriggers) {
+  PolicyConfig cfg;
+  EXPECT_TRUE(should_initiate(0.95, 0.93, cfg));   // over the critical threshold
+  EXPECT_FALSE(should_initiate(0.85, 0.80, cfg));  // neither condition
+}
+
+TEST(TransferPolicyTest, ImbalanceTriggersEvenBelowThreshold) {
+  PolicyConfig cfg;
+  EXPECT_TRUE(should_initiate(0.70, 0.50, cfg));   // 0.20 above the average
+  EXPECT_FALSE(should_initiate(0.70, 0.65, cfg));  // within the margin
+}
+
+// ------------------------------------------------------------- location policy
+
+TEST(LocationPolicyTest, PicksOppositeSideOfAverage) {
+  PolicyConfig cfg;
+  // local 0.9, avg 0.6 -> target 0.3; the 0.32 peer is the mirror image.
+  const std::vector<PeerView> peers{
+      {net::Ipv4Addr::octets(1, 0, 0, 1), 0.55},
+      {net::Ipv4Addr::octets(1, 0, 0, 2), 0.32},
+      {net::Ipv4Addr::octets(1, 0, 0, 3), 0.10},
+  };
+  const auto dest = choose_destination(0.9, 0.6, peers, cfg);
+  ASSERT_TRUE(dest.has_value());
+  EXPECT_EQ(*dest, net::Ipv4Addr::octets(1, 0, 0, 2));
+}
+
+TEST(LocationPolicyTest, IgnoresPeersAboveAverage) {
+  PolicyConfig cfg;
+  const std::vector<PeerView> peers{
+      {net::Ipv4Addr::octets(1, 0, 0, 1), 0.92},
+      {net::Ipv4Addr::octets(1, 0, 0, 2), 0.91},
+  };
+  EXPECT_FALSE(choose_destination(0.95, 0.90, peers, cfg).has_value());
+}
+
+TEST(LocationPolicyTest, EmptyPeerSet) {
+  PolicyConfig cfg;
+  EXPECT_FALSE(choose_destination(0.9, 0.5, {}, cfg).has_value());
+}
+
+// ------------------------------------------------------------ selection policy
+
+TEST(SelectionPolicyTest, PicksProcessMatchingExcess) {
+  PolicyConfig cfg;
+  // local 0.9, avg 0.6, 2 cores -> excess = 0.6 cores; pid 2 fits best.
+  const std::vector<ProcessLoad> procs{
+      {Pid{1}, 0.10}, {Pid{2}, 0.55}, {Pid{3}, 1.40}};
+  const auto pid = choose_process(0.9, 0.6, 2.0, procs, cfg);
+  ASSERT_TRUE(pid.has_value());
+  EXPECT_EQ(*pid, Pid{2});
+}
+
+TEST(SelectionPolicyTest, SkipsNearIdleProcesses) {
+  PolicyConfig cfg;
+  const std::vector<ProcessLoad> procs{{Pid{1}, 0.005}, {Pid{2}, 0.001}};
+  EXPECT_FALSE(choose_process(0.9, 0.6, 2.0, procs, cfg).has_value());
+}
+
+TEST(SelectionPolicyTest, NoProcesses) {
+  PolicyConfig cfg;
+  EXPECT_FALSE(choose_process(0.9, 0.6, 2.0, {}, cfg).has_value());
+}
+
+// --------------------------------------------------------- conductor integration
+
+TEST(ConductorTest, DiscoveryViaHeartbeats) {
+  dve::TestbedConfig cfg;
+  cfg.dve_nodes = 4;
+  dve::Testbed bed(cfg);
+  bed.run_for(SimTime::seconds(3));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(bed.node(i).conductor.known_peers(), 3u) << "node " << i;
+  }
+}
+
+TEST(ConductorTest, ClusterAverageApproximation) {
+  dve::TestbedConfig cfg;
+  cfg.dve_nodes = 2;
+  dve::Testbed bed(cfg);
+  // Synthetic load on node 0 only: ~1.0 core of 2 -> 50 %; node 1 idle.
+  for (int i = 0; i < 100; ++i) {
+    bed.engine().schedule_at(SimTime::milliseconds(50 * i), [&bed] {
+      bed.node(0).node.cpu().account(Pid{500}, SimTime::milliseconds(50));
+    });
+  }
+  bed.run_for(SimTime::seconds(4));
+  EXPECT_NEAR(bed.node(0).conductor.cluster_average(), 0.25, 0.08);
+  EXPECT_NEAR(bed.node(1).conductor.cluster_average(), 0.25, 0.08);
+}
+
+TEST(ConductorTest, PeerTimesOutAfterStop) {
+  dve::TestbedConfig cfg;
+  cfg.dve_nodes = 3;
+  dve::Testbed bed(cfg);
+  bed.run_for(SimTime::seconds(3));
+  EXPECT_EQ(bed.node(0).conductor.known_peers(), 2u);
+  bed.node(2).conductor.stop();  // node leaves the cluster
+  bed.run_for(SimTime::seconds(8));
+  // Stale entries are filtered from the fresh-peer view used by the average;
+  // with node2 silent, node0 sees only node1's contribution.
+  const double avg = bed.node(0).conductor.cluster_average();
+  EXPECT_GE(avg, 0.0);
+  // Re-join works too.
+  bed.node(2).conductor.start();
+  bed.run_for(SimTime::seconds(3));
+  EXPECT_EQ(bed.node(2).conductor.known_peers(), 2u);
+}
+
+struct LbFixture : ::testing::Test {
+  // Two zone servers with very different loads on node 0; node 1 idle. The
+  // conductor must move load until both sides approach the average.
+  dve::TestbedConfig cfg;
+  std::unique_ptr<dve::Testbed> bed;
+
+  void SetUp() override {
+    cfg.dve_nodes = 2;
+    cfg.policy.calm_down = SimTime::seconds(3);
+    bed = std::make_unique<dve::Testbed>(cfg);
+  }
+
+  std::shared_ptr<proc::Process> heavy_server(std::size_t node, dve::ZoneId zone,
+                                              double cores) {
+    dve::ZoneServerConfig zs;
+    zs.zone = zone;
+    zs.use_db = false;
+    zs.base_cores = cores;
+    zs.heap_bytes = 2ull << 20;  // keep precopy quick in tests
+    return dve::ZoneServerApp::launch(bed->node(node).node, zs);
+  }
+};
+
+TEST_F(LbFixture, SenderInitiatedMigrationEqualizesLoad) {
+  // Node 0: 1.6 cores demand (80 %); node 1: idle. The conductor should ship a
+  // process across so both end near 40 %.
+  auto p1 = heavy_server(0, 1, 0.8);
+  auto p2 = heavy_server(0, 2, 0.8);
+
+  int migrations = 0;
+  mig::MigrationStats last;
+  for (std::size_t i = 0; i < 2; ++i) {
+    bed->node(i).conductor.set_enabled(true);
+    bed->node(i).conductor.set_on_migration([&](const mig::MigrationStats& s) {
+      ++migrations;
+      last = s;
+    });
+  }
+  bed->run_for(SimTime::seconds(20));
+
+  EXPECT_GE(migrations, 1);
+  EXPECT_TRUE(last.success);
+  // One process per node now.
+  EXPECT_EQ(bed->node(0).node.processes().size(), 1u);
+  EXPECT_EQ(bed->node(1).node.processes().size(), 1u);
+  bed->run_for(SimTime::seconds(3));
+  EXPECT_NEAR(bed->node(0).node.cpu().node_utilization(), 0.4, 0.1);
+  EXPECT_NEAR(bed->node(1).node.cpu().node_utilization(), 0.4, 0.1);
+}
+
+TEST_F(LbFixture, DisabledConductorNeverMigrates) {
+  heavy_server(0, 1, 0.8);
+  heavy_server(0, 2, 0.8);
+  int migrations = 0;
+  bed->node(0).conductor.set_on_migration(
+      [&](const mig::MigrationStats&) { ++migrations; });
+  bed->run_for(SimTime::seconds(15));
+  EXPECT_EQ(migrations, 0);
+  EXPECT_EQ(bed->node(0).node.processes().size(), 2u);
+}
+
+TEST_F(LbFixture, BalancedClusterStaysPut) {
+  heavy_server(0, 1, 0.7);
+  heavy_server(1, 2, 0.7);
+  int migrations = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    bed->node(i).conductor.set_enabled(true);
+    bed->node(i).conductor.set_on_migration(
+        [&](const mig::MigrationStats&) { ++migrations; });
+  }
+  bed->run_for(SimTime::seconds(15));
+  EXPECT_EQ(migrations, 0);  // no imbalance, no churn
+}
+
+TEST_F(LbFixture, ReceiverRejectsWhenBusyOrLoaded) {
+  // Both nodes loaded identically high: neither is "on the opposite side", so
+  // offers never even fire; crank one node slightly to force an offer and let
+  // the receiver-side policy reject it (receiver not below average).
+  heavy_server(0, 1, 0.9);
+  heavy_server(0, 2, 0.9);
+  heavy_server(1, 3, 0.9);
+  heavy_server(1, 4, 0.9);
+  for (std::size_t i = 0; i < 2; ++i) bed->node(i).conductor.set_enabled(true);
+  bed->run_for(SimTime::seconds(15));
+  // Fully saturated on both sides: no destination below average exists.
+  EXPECT_EQ(bed->node(0).node.processes().size(), 2u);
+  EXPECT_EQ(bed->node(1).node.processes().size(), 2u);
+}
+
+TEST_F(LbFixture, CalmDownLimitsMigrationRate) {
+  // Four equal processes all on node 0; equalisation needs 2 migrations, and
+  // the 3 s calm-down forces them to be spaced apart.
+  for (dve::ZoneId z = 1; z <= 4; ++z) heavy_server(0, z, 0.45);
+  std::vector<double> times;
+  for (std::size_t i = 0; i < 2; ++i) {
+    bed->node(i).conductor.set_enabled(true);
+    bed->node(i).conductor.set_on_migration([&](const mig::MigrationStats& s) {
+      times.push_back(s.t_resume.to_sec());
+    });
+  }
+  bed->run_for(SimTime::seconds(40));
+  ASSERT_GE(times.size(), 2u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GE(times[i] - times[i - 1], 3.0);  // calm-down respected
+  }
+  EXPECT_EQ(bed->node(0).node.processes().size(), 2u);
+  EXPECT_EQ(bed->node(1).node.processes().size(), 2u);
+}
+
+}  // namespace
+}  // namespace dvemig::lb

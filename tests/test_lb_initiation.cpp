@@ -1,0 +1,106 @@
+// Receiver-initiated and symmetric transfer-policy variants (the taxonomy of
+// the paper's reference [17]; the paper itself uses sender-initiated).
+#include <gtest/gtest.h>
+
+#include "src/dve/testbed.hpp"
+#include "src/dve/zone_server.hpp"
+
+namespace dvemig::lb {
+namespace {
+
+TEST(InitiationPolicyTest, ShouldSolicitWhenUnderloaded) {
+  PolicyConfig cfg;
+  EXPECT_TRUE(should_solicit(0.30, 0.60, cfg));
+  EXPECT_FALSE(should_solicit(0.55, 0.60, cfg));
+  EXPECT_FALSE(should_solicit(0.80, 0.60, cfg));
+}
+
+TEST(InitiationPolicyTest, SolicitTargetIsMostLoadedAboveAverage) {
+  const std::vector<PeerView> peers{
+      {net::Ipv4Addr::octets(1, 0, 0, 1), 0.72},
+      {net::Ipv4Addr::octets(1, 0, 0, 2), 0.95},
+      {net::Ipv4Addr::octets(1, 0, 0, 3), 0.41},
+  };
+  const auto target = choose_solicit_target(0.6, peers);
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(*target, net::Ipv4Addr::octets(1, 0, 0, 2));
+
+  // Nobody above the average: nothing to solicit from.
+  EXPECT_FALSE(choose_solicit_target(0.99, peers).has_value());
+}
+
+struct InitiationFixture : ::testing::Test {
+  std::unique_ptr<dve::Testbed> make_bed(Initiation initiation) {
+    dve::TestbedConfig cfg;
+    cfg.dve_nodes = 2;
+    cfg.policy.initiation = initiation;
+    cfg.policy.calm_down = SimTime::seconds(2);
+    // Keep the hot node under the hard overload threshold so only the chosen
+    // initiation style can trigger anything.
+    cfg.policy.overload_threshold = 2.0;
+    cfg.policy.imbalance_threshold = 0.10;
+    auto bed = std::make_unique<dve::Testbed>(cfg);
+    // 1.2 cores of demand on node 1 (60 %); node 2 idle -> avg 30 %, gap 30 %.
+    for (int i = 0; i < 4; ++i) {
+      dve::ZoneServerConfig zs;
+      zs.zone = static_cast<dve::ZoneId>(i);
+      zs.use_db = false;
+      zs.base_cores = 0.3;
+      zs.heap_bytes = 1 << 20;
+      dve::ZoneServerApp::launch(bed->node(0).node, zs);
+    }
+    for (std::size_t i = 0; i < 2; ++i) bed->node(i).conductor.set_enabled(true);
+    return bed;
+  }
+};
+
+TEST_F(InitiationFixture, ReceiverInitiatedPullsWork) {
+  auto bed = make_bed(Initiation::receiver);
+  bed->run_for(SimTime::seconds(30));
+  // The idle node solicited, the loaded node answered with offers.
+  EXPECT_GT(bed->node(1).conductor.solicits_sent(), 0u);
+  EXPECT_GT(bed->node(0).conductor.migrations_initiated(), 0u);
+  EXPECT_GE(bed->node(1).node.processes().size(), 1u);
+  EXPECT_NEAR(bed->node(0).node.cpu().node_utilization(),
+              bed->node(1).node.cpu().node_utilization(), 0.2);
+}
+
+TEST_F(InitiationFixture, SenderModeNeverSolicits) {
+  auto bed = make_bed(Initiation::sender);
+  bed->run_for(SimTime::seconds(20));
+  EXPECT_EQ(bed->node(0).conductor.solicits_sent(), 0u);
+  EXPECT_EQ(bed->node(1).conductor.solicits_sent(), 0u);
+  // Sender-initiated still balances (imbalance threshold exceeded).
+  EXPECT_GE(bed->node(1).node.processes().size(), 1u);
+}
+
+TEST_F(InitiationFixture, SymmetricConvergesAtLeastAsFast) {
+  auto bed = make_bed(Initiation::symmetric);
+  bed->run_for(SimTime::seconds(30));
+  EXPECT_EQ(bed->node(0).node.processes().size(), 2u);
+  EXPECT_EQ(bed->node(1).node.processes().size(), 2u);
+}
+
+TEST_F(InitiationFixture, LoadedNodeIgnoresSolicitsWhenNotHeavy) {
+  // Balanced cluster in receiver mode: solicits may be sent by neither side
+  // (nobody is under the average by the threshold), so nothing migrates.
+  dve::TestbedConfig cfg;
+  cfg.dve_nodes = 2;
+  cfg.policy.initiation = Initiation::receiver;
+  dve::Testbed bed(cfg);
+  for (std::size_t n = 0; n < 2; ++n) {
+    dve::ZoneServerConfig zs;
+    zs.zone = static_cast<dve::ZoneId>(n);
+    zs.use_db = false;
+    zs.base_cores = 0.6;
+    zs.heap_bytes = 1 << 20;
+    dve::ZoneServerApp::launch(bed.node(n).node, zs);
+    bed.node(n).conductor.set_enabled(true);
+  }
+  bed.run_for(SimTime::seconds(15));
+  EXPECT_EQ(bed.node(0).node.processes().size(), 1u);
+  EXPECT_EQ(bed.node(1).node.processes().size(), 1u);
+}
+
+}  // namespace
+}  // namespace dvemig::lb

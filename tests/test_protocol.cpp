@@ -1,0 +1,176 @@
+// FrameChannel (the migd wire protocol) and netfilter chain edge cases.
+#include <gtest/gtest.h>
+
+#include "src/mig/protocol.hpp"
+#include "src/net/switch.hpp"
+
+namespace dvemig::mig {
+namespace {
+
+const net::Ipv4Addr kAddrA = net::Ipv4Addr::octets(10, 0, 0, 1);
+const net::Ipv4Addr kAddrB = net::Ipv4Addr::octets(10, 0, 0, 2);
+
+struct ChannelPair {
+  sim::Engine engine;
+  net::Switch sw{engine, net::LinkConfig{1e9, SimTime::microseconds(25)}};
+  stack::NetStack a{engine, "a", SimTime::seconds(1)};
+  stack::NetStack b{engine, "b", SimTime::seconds(2)};
+  std::unique_ptr<FrameChannel> client;
+  std::unique_ptr<FrameChannel> server;
+
+  ChannelPair() {
+    a.add_interface(kAddrA,
+                    sw.attach(kAddrA, [this](net::Packet p) { a.rx(std::move(p)); }));
+    b.add_interface(kAddrB,
+                    sw.attach(kAddrB, [this](net::Packet p) { b.rx(std::move(p)); }));
+    auto listener = b.make_tcp();
+    listener->bind(kAddrB, kMigdPort);
+    listener->listen(4);
+    auto csock = a.make_tcp();
+    csock->connect(net::Endpoint{kAddrB, kMigdPort});
+    engine.run();
+    auto ssock = listener->accept();
+    EXPECT_NE(ssock, nullptr);
+    listener->close();
+    client = std::make_unique<FrameChannel>(std::move(csock));
+    server = std::make_unique<FrameChannel>(std::move(ssock));
+  }
+};
+
+TEST(FrameChannelTest, RoundTripsTypedFrames) {
+  ChannelPair p;
+  std::vector<std::pair<MsgType, Buffer>> got;
+  p.server->set_on_frame([&](MsgType t, BinaryReader& r) {
+    Buffer body;
+    while (!r.at_end()) body.push_back(r.u8());
+    got.emplace_back(t, std::move(body));
+  });
+  p.client->send(MsgType::mig_begin, Buffer{1, 2, 3});
+  p.client->send(MsgType::capture_request, Buffer{});
+  p.engine.run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].first, MsgType::mig_begin);
+  EXPECT_EQ(got[0].second, (Buffer{1, 2, 3}));
+  EXPECT_EQ(got[1].first, MsgType::capture_request);
+  EXPECT_TRUE(got[1].second.empty());
+}
+
+TEST(FrameChannelTest, LargeFrameReassembledAcrossSegments) {
+  ChannelPair p;
+  Buffer payload(300'000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  Buffer got;
+  int frames = 0;
+  p.server->set_on_frame([&](MsgType t, BinaryReader& r) {
+    EXPECT_EQ(t, MsgType::memory_delta);
+    while (!r.at_end()) got.push_back(r.u8());
+    ++frames;
+  });
+  p.client->send(MsgType::memory_delta, payload);
+  p.engine.run();
+  EXPECT_EQ(frames, 1);  // one frame despite ~200 TCP segments
+  EXPECT_EQ(got, payload);
+}
+
+TEST(FrameChannelTest, ManySmallFramesKeepOrder) {
+  ChannelPair p;
+  std::vector<std::uint32_t> seen;
+  p.server->set_on_frame([&](MsgType, BinaryReader& r) { seen.push_back(r.u32()); });
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    BinaryWriter w;
+    w.u32(i);
+    p.client->send(MsgType::socket_state, std::move(w));
+  }
+  p.engine.run();
+  ASSERT_EQ(seen.size(), 200u);
+  for (std::uint32_t i = 0; i < 200; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(FrameChannelTest, BidirectionalInterleaving) {
+  ChannelPair p;
+  int to_server = 0, to_client = 0;
+  p.server->set_on_frame([&](MsgType, BinaryReader&) {
+    ++to_server;
+    p.server->send(MsgType::socket_ack, Buffer{});  // echo back
+  });
+  p.client->set_on_frame([&](MsgType t, BinaryReader&) {
+    EXPECT_EQ(t, MsgType::socket_ack);
+    ++to_client;
+  });
+  for (int i = 0; i < 50; ++i) p.client->send(MsgType::socket_state, Buffer(64, 1));
+  p.engine.run();
+  EXPECT_EQ(to_server, 50);
+  EXPECT_EQ(to_client, 50);
+}
+
+TEST(FrameChannelTest, BytesSentCountsFraming) {
+  ChannelPair p;
+  p.client->send(MsgType::mig_begin, Buffer(100, 0));
+  // 4 (length) + 1 (type) + 100 payload.
+  EXPECT_EQ(p.client->bytes_sent(), 105u);
+}
+
+// ---------------------------------------------------------- netfilter edges
+
+TEST(NetfilterEdge, HookReleasingItselfDuringRun) {
+  sim::Engine engine;
+  stack::NetStack st(engine, "x", SimTime::zero());
+  int calls = 0;
+  stack::HookHandle self;
+  self = st.netfilter().register_hook(stack::Hook::local_in, 0,
+                                      [&](net::Packet&) {
+                                        ++calls;
+                                        self.release();  // one-shot hook
+                                        return stack::Verdict::accept;
+                                      });
+  net::Packet p = net::make_udp({kAddrA, 1}, {kAddrB, 2}, Buffer{1});
+  net::Packet q = p;
+  st.netfilter().run(stack::Hook::local_in, p);
+  st.netfilter().run(stack::Hook::local_in, q);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(st.netfilter().hook_count(stack::Hook::local_in), 0u);
+}
+
+TEST(NetfilterEdge, StolenStopsLowerPriorityHooks) {
+  sim::Engine engine;
+  stack::NetStack st(engine, "x", SimTime::zero());
+  int later_calls = 0;
+  stack::HookHandle stealer = st.netfilter().register_hook(
+      stack::Hook::local_in, 0, [](net::Packet&) { return stack::Verdict::stolen; });
+  stack::HookHandle later = st.netfilter().register_hook(
+      stack::Hook::local_in, 10, [&](net::Packet&) {
+        ++later_calls;
+        return stack::Verdict::accept;
+      });
+  net::Packet p = net::make_udp({kAddrA, 1}, {kAddrB, 2}, Buffer{1});
+  EXPECT_EQ(st.netfilter().run(stack::Hook::local_in, p), stack::Verdict::stolen);
+  EXPECT_EQ(later_calls, 0);
+  stealer.release();
+  later.release();
+}
+
+TEST(NetfilterEdge, MutationsVisibleDownstream) {
+  sim::Engine engine;
+  stack::NetStack st(engine, "x", SimTime::zero());
+  stack::HookHandle first = st.netfilter().register_hook(
+      stack::Hook::local_out, -5, [](net::Packet& p) {
+        p.payload.push_back(0xEE);
+        return stack::Verdict::accept;
+      });
+  std::size_t seen_len = 0;
+  stack::HookHandle second = st.netfilter().register_hook(
+      stack::Hook::local_out, 5, [&](net::Packet& p) {
+        seen_len = p.payload.size();
+        return stack::Verdict::accept;
+      });
+  net::Packet p = net::make_udp({kAddrA, 1}, {kAddrB, 2}, Buffer{1, 2});
+  st.netfilter().run(stack::Hook::local_out, p);
+  EXPECT_EQ(seen_len, 3u);
+  first.release();
+  second.release();
+}
+
+}  // namespace
+}  // namespace dvemig::mig

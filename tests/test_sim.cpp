@@ -1,0 +1,136 @@
+// Unit tests for the discrete-event engine: ordering, determinism, timers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/engine.hpp"
+
+namespace dvemig::sim {
+namespace {
+
+TEST(EngineTest, FiresInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(SimTime::milliseconds(30), [&] { order.push_back(3); });
+  engine.schedule_at(SimTime::milliseconds(10), [&] { order.push_back(1); });
+  engine.schedule_at(SimTime::milliseconds(20), [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), SimTime::milliseconds(30));
+}
+
+TEST(EngineTest, SameTimestampFiresInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(SimTime::milliseconds(5), [&, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EngineTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(SimTime::milliseconds(10), [&] { ++fired; });
+  engine.schedule_at(SimTime::milliseconds(30), [&] { ++fired; });
+  engine.run_until(SimTime::milliseconds(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.now(), SimTime::milliseconds(20));  // idle time advances
+  engine.run_until(SimTime::milliseconds(40));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineTest, EventAtBoundaryIncluded) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(SimTime::milliseconds(10), [&] { ++fired; });
+  engine.run_until(SimTime::milliseconds(10));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EngineTest, ScheduleAfterUsesCurrentTime) {
+  Engine engine;
+  SimTime inner{};
+  engine.schedule_at(SimTime::milliseconds(5), [&] {
+    engine.schedule_after(SimTime::milliseconds(7), [&] { inner = engine.now(); });
+  });
+  engine.run();
+  EXPECT_EQ(inner, SimTime::milliseconds(12));
+}
+
+TEST(EngineTest, CancelPreventsFiring) {
+  Engine engine;
+  int fired = 0;
+  TimerHandle h = engine.schedule_at(SimTime::milliseconds(10), [&] { ++fired; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  engine.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EngineTest, CancelIsIdempotentAndSafeOnEmptyHandle) {
+  Engine engine;
+  TimerHandle h;
+  h.cancel();  // empty handle: no-op
+  h = engine.schedule_at(SimTime::milliseconds(1), [] {});
+  h.cancel();
+  h.cancel();
+  EXPECT_EQ(engine.run(), 0u);
+}
+
+TEST(EngineTest, HandleConsumedAfterFiring) {
+  Engine engine;
+  TimerHandle h = engine.schedule_at(SimTime::milliseconds(1), [] {});
+  engine.run();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EngineTest, RearmInsideCallback) {
+  Engine engine;
+  int count = 0;
+  TimerHandle h;
+  std::function<void()> tick = [&] {
+    if (++count < 5) h = engine.schedule_after(SimTime::milliseconds(10), tick);
+  };
+  h = engine.schedule_after(SimTime::milliseconds(10), tick);
+  engine.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(engine.now(), SimTime::milliseconds(50));
+}
+
+TEST(EngineTest, RunWithLimitStopsEarly) {
+  Engine engine;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(SimTime::milliseconds(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(engine.run(3), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(engine.pending_events(), 7u);
+}
+
+TEST(EngineTest, ClearDropsEverything) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(SimTime::milliseconds(1), [&] { ++fired; });
+  engine.clear();
+  engine.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EngineTest, CancelledEventsSkippedByRunUntil) {
+  Engine engine;
+  int fired = 0;
+  TimerHandle h1 = engine.schedule_at(SimTime::milliseconds(5), [&] { ++fired; });
+  engine.schedule_at(SimTime::milliseconds(50), [&] { ++fired; });
+  h1.cancel();
+  engine.run_until(SimTime::milliseconds(10));
+  EXPECT_EQ(fired, 0);
+  engine.run_until(SimTime::milliseconds(100));
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace dvemig::sim

@@ -1,0 +1,139 @@
+// PacketTracer (the simulator's tcpdump) tests.
+#include <gtest/gtest.h>
+
+#include "src/net/checksum.hpp"
+#include "src/net/switch.hpp"
+#include "src/stack/tracer.hpp"
+#include "src/stack/udp_socket.hpp"
+
+namespace dvemig::stack {
+namespace {
+
+const net::Ipv4Addr kAddrA = net::Ipv4Addr::octets(10, 0, 0, 1);
+const net::Ipv4Addr kAddrB = net::Ipv4Addr::octets(10, 0, 0, 2);
+
+struct TwoHosts {
+  sim::Engine engine;
+  net::Switch sw{engine, net::LinkConfig{}};
+  NetStack a{engine, "hostA", SimTime::seconds(1)};
+  NetStack b{engine, "hostB", SimTime::seconds(2)};
+
+  TwoHosts() {
+    a.add_interface(kAddrA,
+                    sw.attach(kAddrA, [this](net::Packet p) { a.rx(std::move(p)); }));
+    b.add_interface(kAddrB,
+                    sw.attach(kAddrB, [this](net::Packet p) { b.rx(std::move(p)); }));
+  }
+};
+
+TEST(TracerTest, RecordsBothDirections) {
+  TwoHosts h;
+  PacketTracer tracer(h.b);
+  auto server = h.b.make_udp();
+  server->bind(kAddrB, 5000);
+  auto client = h.a.make_udp();
+  client->send_to(net::Endpoint{kAddrB, 5000}, Buffer(10, 1));
+  h.engine.run();
+  const auto req = server->recv();
+  ASSERT_TRUE(req.has_value());
+  h.engine.schedule_after(SimTime::milliseconds(1), [&] {
+    server->send_to(req->from, Buffer(20, 2));
+  });
+  h.engine.run();
+
+  ASSERT_EQ(tracer.records().size(), 2u);
+  EXPECT_EQ(tracer.records()[0].dir, PacketTracer::Direction::in);
+  EXPECT_EQ(tracer.records()[0].packet.payload.size(), 10u);
+  EXPECT_EQ(tracer.records()[1].dir, PacketTracer::Direction::out);
+  EXPECT_EQ(tracer.records()[1].packet.payload.size(), 20u);
+  EXPECT_LT(tracer.records()[0].t, tracer.records()[1].t);
+}
+
+TEST(TracerTest, FilterRestrictsCapture) {
+  TwoHosts h;
+  PacketTracer tracer(h.b);
+  tracer.set_filter([](const net::Packet& p) { return p.dport() == 5000; });
+  auto s1 = h.b.make_udp();
+  s1->bind(kAddrB, 5000);
+  auto s2 = h.b.make_udp();
+  s2->bind(kAddrB, 6000);
+  auto client = h.a.make_udp();
+  client->send_to(net::Endpoint{kAddrB, 5000}, Buffer{1});
+  client->send_to(net::Endpoint{kAddrB, 6000}, Buffer{2});
+  h.engine.run();
+  ASSERT_EQ(tracer.records().size(), 1u);
+  EXPECT_EQ(tracer.records()[0].packet.dport(), 5000);
+}
+
+TEST(TracerTest, DumpFormat) {
+  TwoHosts h;
+  PacketTracer tracer(h.b);
+  auto server = h.b.make_udp();
+  server->bind(kAddrB, 5000);
+  auto client = h.a.make_udp();
+  client->send_to(net::Endpoint{kAddrB, 5000}, Buffer(256, 1));
+  h.engine.run();
+  const std::string dump = tracer.dump();
+  EXPECT_NE(dump.find("IN  UDP"), std::string::npos);
+  EXPECT_NE(dump.find("10.0.0.1"), std::string::npos);
+  EXPECT_NE(dump.find("> 10.0.0.2:5000 len 256"), std::string::npos);
+}
+
+TEST(TracerTest, CapLimitsMemory) {
+  TwoHosts h;
+  PacketTracer tracer(h.b, /*max_records=*/5);
+  auto server = h.b.make_udp();
+  server->bind(kAddrB, 5000);
+  auto client = h.a.make_udp();
+  for (int i = 0; i < 12; ++i) {
+    client->send_to(net::Endpoint{kAddrB, 5000}, Buffer{1});
+  }
+  h.engine.run();
+  EXPECT_EQ(tracer.records().size(), 5u);
+  EXPECT_EQ(tracer.dropped_by_cap(), 7u);
+}
+
+TEST(TracerTest, DetachesOnDestruction) {
+  TwoHosts h;
+  {
+    PacketTracer tracer(h.b);
+    EXPECT_EQ(h.b.netfilter().hook_count(Hook::local_in), 1u);
+    EXPECT_EQ(h.b.netfilter().hook_count(Hook::local_out), 1u);
+  }
+  EXPECT_EQ(h.b.netfilter().hook_count(Hook::local_in), 0u);
+  EXPECT_EQ(h.b.netfilter().hook_count(Hook::local_out), 0u);
+}
+
+TEST(TracerTest, ObservationDoesNotPerturbDelivery) {
+  TwoHosts h;
+  PacketTracer tracer(h.b);
+  auto server = h.b.make_udp();
+  server->bind(kAddrB, 5000);
+  auto client = h.a.make_udp();
+  client->send_to(net::Endpoint{kAddrB, 5000}, Buffer{1, 2, 3});
+  h.engine.run();
+  ASSERT_EQ(server->pending(), 1u);
+  EXPECT_EQ(server->recv()->data, (Buffer{1, 2, 3}));
+}
+
+TEST(TracerTest, SeesOutgoingAfterTranslationRewrites) {
+  // The tracer sits at the wire edge: it must record the packet as rewritten by
+  // LOCAL_OUT hooks, not as the socket emitted it.
+  TwoHosts h;
+  HookHandle rewrite = h.b.netfilter().register_hook(
+      Hook::local_out, 0, [](net::Packet& p) {
+        const std::uint32_t old = p.dst.value;
+        p.dst = net::Ipv4Addr::octets(10, 0, 0, 9);
+        p.checksum = net::checksum_adjust32(p.checksum, old, p.dst.value);
+        return Verdict::accept;
+      });
+  PacketTracer tracer(h.b);
+  auto sock = h.b.make_udp();
+  sock->send_to(net::Endpoint{kAddrA, 7}, Buffer{1});
+  ASSERT_EQ(tracer.records().size(), 1u);
+  EXPECT_EQ(tracer.records()[0].packet.dst, net::Ipv4Addr::octets(10, 0, 0, 9));
+  rewrite.release();
+}
+
+}  // namespace
+}  // namespace dvemig::stack
