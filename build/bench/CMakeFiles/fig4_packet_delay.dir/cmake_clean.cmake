@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_packet_delay.dir/fig4_packet_delay.cpp.o"
+  "CMakeFiles/fig4_packet_delay.dir/fig4_packet_delay.cpp.o.d"
+  "fig4_packet_delay"
+  "fig4_packet_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_packet_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

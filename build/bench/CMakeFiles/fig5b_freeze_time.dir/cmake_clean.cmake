@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_freeze_time.dir/fig5b_freeze_time.cpp.o"
+  "CMakeFiles/fig5b_freeze_time.dir/fig5b_freeze_time.cpp.o.d"
+  "fig5b_freeze_time"
+  "fig5b_freeze_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_freeze_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_freeze_bytes.dir/fig5c_freeze_bytes.cpp.o"
+  "CMakeFiles/fig5c_freeze_bytes.dir/fig5c_freeze_bytes.cpp.o.d"
+  "fig5c_freeze_bytes"
+  "fig5c_freeze_bytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_freeze_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5def_dve_loadbalance.dir/fig5def_dve_loadbalance.cpp.o"
+  "CMakeFiles/fig5def_dve_loadbalance.dir/fig5def_dve_loadbalance.cpp.o.d"
+  "fig5def_dve_loadbalance"
+  "fig5def_dve_loadbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5def_dve_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

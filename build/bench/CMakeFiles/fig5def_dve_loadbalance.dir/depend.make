@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5def_dve_loadbalance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_failover.dir/db_failover.cpp.o"
+  "CMakeFiles/db_failover.dir/db_failover.cpp.o.d"
+  "db_failover"
+  "db_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

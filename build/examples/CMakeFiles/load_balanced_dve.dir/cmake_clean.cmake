@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_balanced_dve.dir/load_balanced_dve.cpp.o"
+  "CMakeFiles/load_balanced_dve.dir/load_balanced_dve.cpp.o.d"
+  "load_balanced_dve"
+  "load_balanced_dve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_balanced_dve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openarena_migration.dir/openarena_migration.cpp.o"
+  "CMakeFiles/openarena_migration.dir/openarena_migration.cpp.o.d"
+  "openarena_migration"
+  "openarena_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openarena_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvemig_ckpt.dir/dirty_tracker.cpp.o"
+  "CMakeFiles/dvemig_ckpt.dir/dirty_tracker.cpp.o.d"
+  "CMakeFiles/dvemig_ckpt.dir/image.cpp.o"
+  "CMakeFiles/dvemig_ckpt.dir/image.cpp.o.d"
+  "CMakeFiles/dvemig_ckpt.dir/restore.cpp.o"
+  "CMakeFiles/dvemig_ckpt.dir/restore.cpp.o.d"
+  "libdvemig_ckpt.a"
+  "libdvemig_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvemig_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

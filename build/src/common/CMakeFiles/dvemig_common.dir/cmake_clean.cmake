@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvemig_common.dir/log.cpp.o"
+  "CMakeFiles/dvemig_common.dir/log.cpp.o.d"
+  "CMakeFiles/dvemig_common.dir/serial.cpp.o"
+  "CMakeFiles/dvemig_common.dir/serial.cpp.o.d"
+  "libdvemig_common.a"
+  "libdvemig_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvemig_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

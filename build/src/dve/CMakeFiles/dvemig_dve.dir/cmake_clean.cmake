@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvemig_dve.dir/client.cpp.o"
+  "CMakeFiles/dvemig_dve.dir/client.cpp.o.d"
+  "CMakeFiles/dvemig_dve.dir/database.cpp.o"
+  "CMakeFiles/dvemig_dve.dir/database.cpp.o.d"
+  "CMakeFiles/dvemig_dve.dir/game_server.cpp.o"
+  "CMakeFiles/dvemig_dve.dir/game_server.cpp.o.d"
+  "CMakeFiles/dvemig_dve.dir/population.cpp.o"
+  "CMakeFiles/dvemig_dve.dir/population.cpp.o.d"
+  "CMakeFiles/dvemig_dve.dir/testbed.cpp.o"
+  "CMakeFiles/dvemig_dve.dir/testbed.cpp.o.d"
+  "CMakeFiles/dvemig_dve.dir/zone.cpp.o"
+  "CMakeFiles/dvemig_dve.dir/zone.cpp.o.d"
+  "CMakeFiles/dvemig_dve.dir/zone_server.cpp.o"
+  "CMakeFiles/dvemig_dve.dir/zone_server.cpp.o.d"
+  "libdvemig_dve.a"
+  "libdvemig_dve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvemig_dve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvemig_lb.dir/conductor.cpp.o"
+  "CMakeFiles/dvemig_lb.dir/conductor.cpp.o.d"
+  "CMakeFiles/dvemig_lb.dir/load_info.cpp.o"
+  "CMakeFiles/dvemig_lb.dir/load_info.cpp.o.d"
+  "CMakeFiles/dvemig_lb.dir/load_monitor.cpp.o"
+  "CMakeFiles/dvemig_lb.dir/load_monitor.cpp.o.d"
+  "CMakeFiles/dvemig_lb.dir/policies.cpp.o"
+  "CMakeFiles/dvemig_lb.dir/policies.cpp.o.d"
+  "libdvemig_lb.a"
+  "libdvemig_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvemig_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

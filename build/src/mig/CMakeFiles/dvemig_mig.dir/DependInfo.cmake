@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mig/capture.cpp" "src/mig/CMakeFiles/dvemig_mig.dir/capture.cpp.o" "gcc" "src/mig/CMakeFiles/dvemig_mig.dir/capture.cpp.o.d"
+  "/root/repo/src/mig/delta_tracker.cpp" "src/mig/CMakeFiles/dvemig_mig.dir/delta_tracker.cpp.o" "gcc" "src/mig/CMakeFiles/dvemig_mig.dir/delta_tracker.cpp.o.d"
+  "/root/repo/src/mig/migd.cpp" "src/mig/CMakeFiles/dvemig_mig.dir/migd.cpp.o" "gcc" "src/mig/CMakeFiles/dvemig_mig.dir/migd.cpp.o.d"
+  "/root/repo/src/mig/protocol.cpp" "src/mig/CMakeFiles/dvemig_mig.dir/protocol.cpp.o" "gcc" "src/mig/CMakeFiles/dvemig_mig.dir/protocol.cpp.o.d"
+  "/root/repo/src/mig/socket_image.cpp" "src/mig/CMakeFiles/dvemig_mig.dir/socket_image.cpp.o" "gcc" "src/mig/CMakeFiles/dvemig_mig.dir/socket_image.cpp.o.d"
+  "/root/repo/src/mig/translation.cpp" "src/mig/CMakeFiles/dvemig_mig.dir/translation.cpp.o" "gcc" "src/mig/CMakeFiles/dvemig_mig.dir/translation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ckpt/CMakeFiles/dvemig_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/dvemig_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/dvemig_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dvemig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dvemig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dvemig_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvemig_mig.dir/capture.cpp.o"
+  "CMakeFiles/dvemig_mig.dir/capture.cpp.o.d"
+  "CMakeFiles/dvemig_mig.dir/delta_tracker.cpp.o"
+  "CMakeFiles/dvemig_mig.dir/delta_tracker.cpp.o.d"
+  "CMakeFiles/dvemig_mig.dir/migd.cpp.o"
+  "CMakeFiles/dvemig_mig.dir/migd.cpp.o.d"
+  "CMakeFiles/dvemig_mig.dir/protocol.cpp.o"
+  "CMakeFiles/dvemig_mig.dir/protocol.cpp.o.d"
+  "CMakeFiles/dvemig_mig.dir/socket_image.cpp.o"
+  "CMakeFiles/dvemig_mig.dir/socket_image.cpp.o.d"
+  "CMakeFiles/dvemig_mig.dir/translation.cpp.o"
+  "CMakeFiles/dvemig_mig.dir/translation.cpp.o.d"
+  "libdvemig_mig.a"
+  "libdvemig_mig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvemig_mig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

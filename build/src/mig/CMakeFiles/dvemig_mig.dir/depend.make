@@ -1,0 +1,2 @@
+# Empty dependencies file for dvemig_mig.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/checksum.cpp" "src/net/CMakeFiles/dvemig_net.dir/checksum.cpp.o" "gcc" "src/net/CMakeFiles/dvemig_net.dir/checksum.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/dvemig_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/dvemig_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/dvemig_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/dvemig_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/router.cpp" "src/net/CMakeFiles/dvemig_net.dir/router.cpp.o" "gcc" "src/net/CMakeFiles/dvemig_net.dir/router.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/net/CMakeFiles/dvemig_net.dir/switch.cpp.o" "gcc" "src/net/CMakeFiles/dvemig_net.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dvemig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dvemig_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

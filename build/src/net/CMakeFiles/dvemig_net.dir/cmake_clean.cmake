@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvemig_net.dir/checksum.cpp.o"
+  "CMakeFiles/dvemig_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/dvemig_net.dir/link.cpp.o"
+  "CMakeFiles/dvemig_net.dir/link.cpp.o.d"
+  "CMakeFiles/dvemig_net.dir/packet.cpp.o"
+  "CMakeFiles/dvemig_net.dir/packet.cpp.o.d"
+  "CMakeFiles/dvemig_net.dir/router.cpp.o"
+  "CMakeFiles/dvemig_net.dir/router.cpp.o.d"
+  "CMakeFiles/dvemig_net.dir/switch.cpp.o"
+  "CMakeFiles/dvemig_net.dir/switch.cpp.o.d"
+  "libdvemig_net.a"
+  "libdvemig_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvemig_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

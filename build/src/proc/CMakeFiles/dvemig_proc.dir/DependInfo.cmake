@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proc/app_logic.cpp" "src/proc/CMakeFiles/dvemig_proc.dir/app_logic.cpp.o" "gcc" "src/proc/CMakeFiles/dvemig_proc.dir/app_logic.cpp.o.d"
+  "/root/repo/src/proc/cpu_meter.cpp" "src/proc/CMakeFiles/dvemig_proc.dir/cpu_meter.cpp.o" "gcc" "src/proc/CMakeFiles/dvemig_proc.dir/cpu_meter.cpp.o.d"
+  "/root/repo/src/proc/file_table.cpp" "src/proc/CMakeFiles/dvemig_proc.dir/file_table.cpp.o" "gcc" "src/proc/CMakeFiles/dvemig_proc.dir/file_table.cpp.o.d"
+  "/root/repo/src/proc/memory.cpp" "src/proc/CMakeFiles/dvemig_proc.dir/memory.cpp.o" "gcc" "src/proc/CMakeFiles/dvemig_proc.dir/memory.cpp.o.d"
+  "/root/repo/src/proc/node.cpp" "src/proc/CMakeFiles/dvemig_proc.dir/node.cpp.o" "gcc" "src/proc/CMakeFiles/dvemig_proc.dir/node.cpp.o.d"
+  "/root/repo/src/proc/process.cpp" "src/proc/CMakeFiles/dvemig_proc.dir/process.cpp.o" "gcc" "src/proc/CMakeFiles/dvemig_proc.dir/process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stack/CMakeFiles/dvemig_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dvemig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dvemig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dvemig_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

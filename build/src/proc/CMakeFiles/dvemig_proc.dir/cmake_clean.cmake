@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvemig_proc.dir/app_logic.cpp.o"
+  "CMakeFiles/dvemig_proc.dir/app_logic.cpp.o.d"
+  "CMakeFiles/dvemig_proc.dir/cpu_meter.cpp.o"
+  "CMakeFiles/dvemig_proc.dir/cpu_meter.cpp.o.d"
+  "CMakeFiles/dvemig_proc.dir/file_table.cpp.o"
+  "CMakeFiles/dvemig_proc.dir/file_table.cpp.o.d"
+  "CMakeFiles/dvemig_proc.dir/memory.cpp.o"
+  "CMakeFiles/dvemig_proc.dir/memory.cpp.o.d"
+  "CMakeFiles/dvemig_proc.dir/node.cpp.o"
+  "CMakeFiles/dvemig_proc.dir/node.cpp.o.d"
+  "CMakeFiles/dvemig_proc.dir/process.cpp.o"
+  "CMakeFiles/dvemig_proc.dir/process.cpp.o.d"
+  "libdvemig_proc.a"
+  "libdvemig_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvemig_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

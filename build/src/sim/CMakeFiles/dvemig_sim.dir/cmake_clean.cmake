@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvemig_sim.dir/engine.cpp.o"
+  "CMakeFiles/dvemig_sim.dir/engine.cpp.o.d"
+  "libdvemig_sim.a"
+  "libdvemig_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvemig_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

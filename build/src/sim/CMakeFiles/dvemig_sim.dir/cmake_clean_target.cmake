@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdvemig_sim.a"
+)

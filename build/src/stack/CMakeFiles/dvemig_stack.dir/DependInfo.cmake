@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stack/net_stack.cpp" "src/stack/CMakeFiles/dvemig_stack.dir/net_stack.cpp.o" "gcc" "src/stack/CMakeFiles/dvemig_stack.dir/net_stack.cpp.o.d"
+  "/root/repo/src/stack/netfilter.cpp" "src/stack/CMakeFiles/dvemig_stack.dir/netfilter.cpp.o" "gcc" "src/stack/CMakeFiles/dvemig_stack.dir/netfilter.cpp.o.d"
+  "/root/repo/src/stack/socket_table.cpp" "src/stack/CMakeFiles/dvemig_stack.dir/socket_table.cpp.o" "gcc" "src/stack/CMakeFiles/dvemig_stack.dir/socket_table.cpp.o.d"
+  "/root/repo/src/stack/tcp_socket.cpp" "src/stack/CMakeFiles/dvemig_stack.dir/tcp_socket.cpp.o" "gcc" "src/stack/CMakeFiles/dvemig_stack.dir/tcp_socket.cpp.o.d"
+  "/root/repo/src/stack/tracer.cpp" "src/stack/CMakeFiles/dvemig_stack.dir/tracer.cpp.o" "gcc" "src/stack/CMakeFiles/dvemig_stack.dir/tracer.cpp.o.d"
+  "/root/repo/src/stack/udp_socket.cpp" "src/stack/CMakeFiles/dvemig_stack.dir/udp_socket.cpp.o" "gcc" "src/stack/CMakeFiles/dvemig_stack.dir/udp_socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dvemig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dvemig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dvemig_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvemig_stack.dir/net_stack.cpp.o"
+  "CMakeFiles/dvemig_stack.dir/net_stack.cpp.o.d"
+  "CMakeFiles/dvemig_stack.dir/netfilter.cpp.o"
+  "CMakeFiles/dvemig_stack.dir/netfilter.cpp.o.d"
+  "CMakeFiles/dvemig_stack.dir/socket_table.cpp.o"
+  "CMakeFiles/dvemig_stack.dir/socket_table.cpp.o.d"
+  "CMakeFiles/dvemig_stack.dir/tcp_socket.cpp.o"
+  "CMakeFiles/dvemig_stack.dir/tcp_socket.cpp.o.d"
+  "CMakeFiles/dvemig_stack.dir/tracer.cpp.o"
+  "CMakeFiles/dvemig_stack.dir/tracer.cpp.o.d"
+  "CMakeFiles/dvemig_stack.dir/udp_socket.cpp.o"
+  "CMakeFiles/dvemig_stack.dir/udp_socket.cpp.o.d"
+  "libdvemig_stack.a"
+  "libdvemig_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvemig_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

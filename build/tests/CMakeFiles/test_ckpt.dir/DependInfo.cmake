@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ckpt.cpp" "tests/CMakeFiles/test_ckpt.dir/test_ckpt.cpp.o" "gcc" "tests/CMakeFiles/test_ckpt.dir/test_ckpt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dve/CMakeFiles/dvemig_dve.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/dvemig_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mig/CMakeFiles/dvemig_mig.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/dvemig_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/dvemig_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/dvemig_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dvemig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dvemig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dvemig_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

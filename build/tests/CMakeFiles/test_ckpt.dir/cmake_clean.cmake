@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ckpt.dir/test_ckpt.cpp.o"
+  "CMakeFiles/test_ckpt.dir/test_ckpt.cpp.o.d"
+  "test_ckpt"
+  "test_ckpt.pdb"
+  "test_ckpt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dve.dir/test_dve.cpp.o"
+  "CMakeFiles/test_dve.dir/test_dve.cpp.o.d"
+  "test_dve"
+  "test_dve.pdb"
+  "test_dve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

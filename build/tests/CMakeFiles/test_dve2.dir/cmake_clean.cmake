@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dve2.dir/test_dve2.cpp.o"
+  "CMakeFiles/test_dve2.dir/test_dve2.cpp.o.d"
+  "test_dve2"
+  "test_dve2.pdb"
+  "test_dve2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dve2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lb_initiation.dir/test_lb_initiation.cpp.o"
+  "CMakeFiles/test_lb_initiation.dir/test_lb_initiation.cpp.o.d"
+  "test_lb_initiation"
+  "test_lb_initiation.pdb"
+  "test_lb_initiation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lb_initiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mig_live.dir/test_mig_live.cpp.o"
+  "CMakeFiles/test_mig_live.dir/test_mig_live.cpp.o.d"
+  "test_mig_live"
+  "test_mig_live.pdb"
+  "test_mig_live[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mig_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mig_live2.dir/test_mig_live2.cpp.o"
+  "CMakeFiles/test_mig_live2.dir/test_mig_live2.cpp.o.d"
+  "test_mig_live2"
+  "test_mig_live2.pdb"
+  "test_mig_live2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mig_live2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

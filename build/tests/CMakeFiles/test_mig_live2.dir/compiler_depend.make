@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_mig_live2.
+# This may be replaced when dependencies are built.

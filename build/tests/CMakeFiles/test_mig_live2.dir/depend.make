@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mig_live2.
+# This may be replaced when dependencies are built.

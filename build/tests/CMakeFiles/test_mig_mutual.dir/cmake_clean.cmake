@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mig_mutual.dir/test_mig_mutual.cpp.o"
+  "CMakeFiles/test_mig_mutual.dir/test_mig_mutual.cpp.o.d"
+  "test_mig_mutual"
+  "test_mig_mutual.pdb"
+  "test_mig_mutual[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mig_mutual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mig_socket.dir/test_mig_socket.cpp.o"
+  "CMakeFiles/test_mig_socket.dir/test_mig_socket.cpp.o.d"
+  "test_mig_socket"
+  "test_mig_socket.pdb"
+  "test_mig_socket[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mig_socket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

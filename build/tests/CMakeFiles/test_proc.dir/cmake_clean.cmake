@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proc.dir/test_proc.cpp.o"
+  "CMakeFiles/test_proc.dir/test_proc.cpp.o.d"
+  "test_proc"
+  "test_proc.pdb"
+  "test_proc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

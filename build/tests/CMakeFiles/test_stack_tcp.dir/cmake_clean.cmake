@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stack_tcp.dir/test_stack_tcp.cpp.o"
+  "CMakeFiles/test_stack_tcp.dir/test_stack_tcp.cpp.o.d"
+  "test_stack_tcp"
+  "test_stack_tcp.pdb"
+  "test_stack_tcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stack_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stack_tcp2.dir/test_stack_tcp2.cpp.o"
+  "CMakeFiles/test_stack_tcp2.dir/test_stack_tcp2.cpp.o.d"
+  "test_stack_tcp2"
+  "test_stack_tcp2.pdb"
+  "test_stack_tcp2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stack_tcp2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

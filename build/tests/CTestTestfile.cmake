@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_stack_tcp[1]_include.cmake")
+include("/root/repo/build/tests/test_stack_udp[1]_include.cmake")
+include("/root/repo/build/tests/test_proc[1]_include.cmake")
+include("/root/repo/build/tests/test_ckpt[1]_include.cmake")
+include("/root/repo/build/tests/test_mig_socket[1]_include.cmake")
+include("/root/repo/build/tests/test_mig_live[1]_include.cmake")
+include("/root/repo/build/tests/test_lb[1]_include.cmake")
+include("/root/repo/build/tests/test_dve[1]_include.cmake")
+include("/root/repo/build/tests/test_mig_mutual[1]_include.cmake")
+include("/root/repo/build/tests/test_stack_tcp2[1]_include.cmake")
+include("/root/repo/build/tests/test_tracer[1]_include.cmake")
+include("/root/repo/build/tests/test_mig_live2[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_lb_initiation[1]_include.cmake")
+include("/root/repo/build/tests/test_determinism[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_conductor_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_accounting[1]_include.cmake")
+include("/root/repo/build/tests/test_dve2[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvemig.dir/dvemig_cli.cpp.o"
+  "CMakeFiles/dvemig.dir/dvemig_cli.cpp.o.d"
+  "dvemig"
+  "dvemig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvemig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
