@@ -1,0 +1,169 @@
+#include "src/check/protocol_checker.hpp"
+
+#include <cstdio>
+
+namespace dvemig::check {
+
+using mig::MsgType;
+
+void ProtocolChecker::violation(const void* chan, const char* rule, const Chan& st,
+                                bool outbound, MsgType type, const char* extra) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "channel %p (%s): %s frame %s%s%s", chan,
+                st.role == Role::source   ? "source"
+                : st.role == Role::dest   ? "dest"
+                                          : "role-unknown",
+                outbound ? "outbound" : "inbound", mig::msg_type_name(type),
+                extra[0] != '\0' ? " — " : "", extra);
+  report_(rule, buf);
+}
+
+void ProtocolChecker::on_frame(const void* chan, bool outbound, MsgType type) {
+  frames_seen_ += 1;
+  Chan& st = channels_[chan];
+
+  // Role inference: the first frame on a well-formed channel is mig_begin, and
+  // only the source emits it. The only other legal opener is mig_abort (a dest
+  // that rejected an unparseable stream before ever seeing mig_begin).
+  const bool first = st.role == Role::unknown && !st.begun && !st.aborted;
+  if (first) {
+    if (type == MsgType::mig_begin) {
+      st.role = outbound ? Role::source : Role::dest;
+    } else if (type != MsgType::mig_abort) {
+      violation(chan, "protocol.first-frame", st, outbound, type,
+                "expected mig_begin to open the channel");
+      // Keep tracking with a best-effort role so one bad opener does not mute
+      // every later check on the channel.
+      st.role = outbound ? Role::source : Role::dest;
+    }
+  }
+
+  if (st.aborted) {
+    violation(chan, "protocol.frame-after-abort", st, outbound, type, "");
+    return;
+  }
+  if (st.resumed) {
+    violation(chan, "protocol.frame-after-resume", st, outbound, type, "");
+    return;
+  }
+
+  if (type == MsgType::mig_abort) {
+    st.aborted = true;
+    return;
+  }
+
+  // Direction of this frame in protocol terms: true = source-to-dest.
+  const bool s2d = (st.role == Role::source) == outbound;
+
+  auto require_s2d = [&](bool want) {
+    if (st.role == Role::unknown) return true;  // cannot judge direction
+    if (s2d != want) {
+      violation(chan, "protocol.direction", st, outbound, type,
+                want ? "only the source sends this" : "only the dest sends this");
+      return false;
+    }
+    return true;
+  };
+
+  switch (type) {
+    case MsgType::mig_begin:
+      require_s2d(true);
+      if (st.begun) {
+        violation(chan, "protocol.duplicate-begin", st, outbound, type, "");
+      }
+      st.begun = true;
+      return;
+
+    case MsgType::memory_delta:
+      require_s2d(true);
+      if (!st.begun) {
+        violation(chan, "protocol.before-begin", st, outbound, type, "");
+      }
+      if (st.image_seen) {
+        violation(chan, "protocol.delta-after-image", st, outbound, type,
+                  "memory_delta after the final process image");
+      }
+      return;
+
+    case MsgType::capture_request:
+      require_s2d(true);
+      if (!st.begun) {
+        violation(chan, "protocol.before-begin", st, outbound, type, "");
+      }
+      if (st.image_seen) {
+        violation(chan, "protocol.capture-after-image", st, outbound, type, "");
+      }
+      st.outstanding_captures += 1;
+      return;
+
+    case MsgType::capture_enabled:
+      require_s2d(false);
+      if (st.outstanding_captures == 0) {
+        violation(chan, "protocol.capture-enabled-unrequested", st, outbound, type,
+                  "no capture_request outstanding (duplicate or spurious ack)");
+        return;
+      }
+      st.outstanding_captures -= 1;
+      st.captures_enabled += 1;
+      return;
+
+    case MsgType::socket_state:
+      require_s2d(true);
+      if (!st.begun) {
+        violation(chan, "protocol.before-begin", st, outbound, type, "");
+      }
+      if (st.image_seen) {
+        violation(chan, "protocol.socket-after-image", st, outbound, type,
+                  "socket state after the final process image");
+      }
+      st.outstanding_socket_states += 1;
+      st.socket_states += 1;
+      return;
+
+    case MsgType::socket_ack:
+      require_s2d(false);
+      if (st.outstanding_socket_states == 0) {
+        violation(chan, "protocol.ack-unrequested", st, outbound, type,
+                  "no socket_state outstanding");
+        return;
+      }
+      st.outstanding_socket_states -= 1;
+      return;
+
+    case MsgType::process_image:
+      require_s2d(true);
+      if (!st.begun) {
+        violation(chan, "protocol.before-begin", st, outbound, type, "");
+      }
+      if (st.image_seen) {
+        violation(chan, "protocol.duplicate-image", st, outbound, type, "");
+      }
+      // Section V-B ordering: the loss-prevention filters must be armed before
+      // the freeze-phase transfer completes. A migration that moved socket state
+      // but never saw capture_enabled would drop in-flight packets.
+      if (st.captures_enabled == 0 && st.socket_states > 0) {
+        violation(chan, "protocol.image-before-capture", st, outbound, type,
+                  "process_image with socket state but no capture_enabled");
+      }
+      if (st.outstanding_captures != 0) {
+        violation(chan, "protocol.image-while-capture-pending", st, outbound, type,
+                  "process_image before every capture_request was acknowledged");
+      }
+      st.image_seen = true;
+      return;
+
+    case MsgType::resume_done:
+      require_s2d(false);
+      if (!st.image_seen) {
+        violation(chan, "protocol.resume-before-image", st, outbound, type, "");
+      }
+      st.resumed = true;
+      return;
+
+    case MsgType::mig_abort:
+      return;  // handled above
+  }
+}
+
+}  // namespace dvemig::check

@@ -1,0 +1,69 @@
+// Migration-protocol state-machine checker (one third of dvemig-verify).
+//
+// The paper's mechanism is a strict ordering (Sections III, V): mig_begin, then
+// precopy deltas, then — inside the freeze — capture filters armed *before* any
+// socket state ships and before the process image is transferred, then exactly
+// one resume_done. A frame that arrives out of that order means the simulator's
+// migd would have fabricated a migration the real kernel module could not have
+// performed, so the checker treats every observed channel as an independent
+// state machine and reports any illegal transition.
+//
+// The checker is deliberately decoupled from FrameChannel: it consumes
+// (channel id, direction, type) triples, so unit tests can replay arbitrary
+// sequences without sockets, and the Verifier can feed it from the live
+// FrameChannel observer hook.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "src/mig/protocol.hpp"
+
+namespace dvemig::check {
+
+class ProtocolChecker {
+ public:
+  using ReportFn =
+      std::function<void(const std::string& rule, const std::string& detail)>;
+
+  explicit ProtocolChecker(ReportFn report) : report_(std::move(report)) {}
+
+  /// Observe one frame on channel `chan` (any stable per-endpoint id).
+  /// `outbound` is from that endpoint's point of view: the same logical frame is
+  /// seen outbound on the sender's channel and inbound on the receiver's.
+  void on_frame(const void* chan, bool outbound, mig::MsgType type);
+
+  /// Forget a channel (its endpoint was destroyed).
+  void on_closed(const void* chan) { channels_.erase(chan); }
+
+  std::size_t active_channels() const { return channels_.size(); }
+  std::uint64_t frames_seen() const { return frames_seen_; }
+
+ private:
+  // Which end of the migd<->migd connection this channel belongs to, inferred
+  // from the direction the first mig_begin travels in.
+  enum class Role { unknown, source, dest };
+
+  struct Chan {
+    Role role{Role::unknown};
+    bool begun{false};         // mig_begin observed
+    bool image_seen{false};    // process_image observed (freeze is committed)
+    bool resumed{false};       // resume_done observed
+    bool aborted{false};       // mig_abort observed (terminal)
+    int outstanding_captures{0};      // capture_request sent, enabled pending
+    int outstanding_socket_states{0}; // socket_state sent, ack pending
+    int captures_enabled{0};
+    int socket_states{0};
+  };
+
+  void violation(const void* chan, const char* rule, const Chan& st, bool outbound,
+                 mig::MsgType type, const char* extra);
+
+  std::unordered_map<const void*, Chan> channels_;
+  std::uint64_t frames_seen_{0};
+  ReportFn report_;
+};
+
+}  // namespace dvemig::check

@@ -1,0 +1,257 @@
+#include "src/check/verifier.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+
+#include "src/common/log.hpp"
+#include "src/stack/tcp_socket.hpp"
+#include "src/stack/udp_socket.hpp"
+
+namespace dvemig::check {
+
+using stack::FourTuple;
+using stack::NetStack;
+using stack::Socket;
+using stack::SocketType;
+using stack::TcpSocket;
+using stack::TcpState;
+using stack::UdpSocket;
+using stack::seq_le;
+using stack::seq_lt;
+
+Verifier::Verifier(sim::Engine& engine, VerifierConfig cfg)
+    : engine_(&engine),
+      cfg_(cfg),
+      protocol_([this](const std::string& rule, const std::string& detail) {
+        report(rule, detail);
+      }) {
+  DVEMIG_EXPECTS(cfg_.every_n_events >= 1);
+  engine_->set_post_event_hook([this] { on_event(); });
+  mig::FrameChannel::set_observer(this);
+}
+
+Verifier::~Verifier() {
+  engine_->set_post_event_hook(nullptr);
+  if (mig::FrameChannel::observer() == this) {
+    mig::FrameChannel::set_observer(nullptr);
+  }
+}
+
+void Verifier::watch_stack(const NetStack& st) { stacks_.push_back(&st); }
+
+void Verifier::watch_capture(const mig::CaptureManager& cm) {
+  captures_.push_back(&cm);
+}
+
+void Verifier::on_event() {
+  events_seen_ += 1;
+  if (events_seen_ % cfg_.every_n_events == 0) audit_now();
+}
+
+void Verifier::audit_now() {
+  audits_ += 1;
+  for (const NetStack* st : stacks_) audit_stack(*st);
+  for (const mig::CaptureManager* cm : captures_) audit_capture(*cm);
+}
+
+void Verifier::report(const std::string& rule, const std::string& detail) {
+  violation_count_ += 1;
+  if (violations_.size() < cfg_.max_recorded) {
+    violations_.push_back(Violation{rule, detail});
+  }
+  DVEMIG_ERROR("verify", "[%s] %s", rule.c_str(), detail.c_str());
+  if (cfg_.abort_on_violation) {
+    detail::contract_failure("dvemig-verify invariant", detail.c_str(),
+                             rule.c_str(), 0);
+  }
+}
+
+bool Verifier::check(bool ok, const NetStack& st, std::uint64_t sock_id,
+                     const char* rule, const char* what) {
+  checks_ += 1;
+  if (!ok) {
+    report(rule, "stack '" + st.name() + "' sock#" + std::to_string(sock_id) +
+                     ": " + what);
+  }
+  return ok;
+}
+
+void Verifier::audit_tcp(const NetStack& st, const FourTuple& key,
+                         const TcpSocket& tcp) {
+  const auto& cb = tcp.cb();
+  const std::uint64_t id = tcp.sock_id();
+
+  check(!tcp.migration_disabled(), st, id, "ehash.disabled-socket",
+        "migration-disabled socket still hashed");
+  check(tcp.hashed_established(), st, id, "ehash.flag-mismatch",
+        "socket in ehash but hashed_established() is false");
+  check(key.local == tcp.local() && key.remote == tcp.remote(), st, id,
+        "ehash.key-mismatch", "ehash key differs from socket endpoints");
+  check(cb.state != TcpState::closed && cb.state != TcpState::listen, st, id,
+        "ehash.bad-state", "closed/listening socket in ehash");
+
+  // --- send sequence space ---
+  check(seq_le(cb.snd_una, cb.snd_nxt), st, id, "tcp.snd-una-ahead",
+        "snd_una is ahead of snd_nxt");
+  const auto& wq = cb.write_queue;
+  for (std::size_t i = 0; i + 1 < wq.size(); ++i) {
+    if (!check(wq[i + 1].seq == wq[i].end_seq(), st, id, "tcp.write-queue-gap",
+               "write queue segments are not contiguous")) {
+      break;
+    }
+  }
+  if (!wq.empty()) {
+    check(seq_le(wq.front().seq, cb.snd_una), st, id, "tcp.write-queue-head",
+          "acked data still heads the write queue");
+    check(seq_lt(cb.snd_una, wq.front().end_seq()), st, id,
+          "tcp.write-queue-stale", "fully acked segment not popped");
+    check(seq_le(cb.snd_nxt, wq.back().end_seq()), st, id, "tcp.snd-nxt-runaway",
+          "snd_nxt beyond the end of the write queue");
+  } else {
+    check(cb.snd_una == cb.snd_nxt, st, id, "tcp.inflight-without-queue",
+          "bytes in flight but the write queue is empty");
+  }
+
+  // --- receive sequence space ---
+  std::size_t rx_bytes = 0;
+  for (std::size_t i = 0; i < cb.receive_queue.size(); ++i) {
+    rx_bytes += cb.receive_queue[i].data.size();
+    if (i + 1 < cb.receive_queue.size()) {
+      const auto& cur = cb.receive_queue[i];
+      const auto& nxt = cb.receive_queue[i + 1];
+      if (!check(nxt.seq == cur.seq + static_cast<std::uint32_t>(cur.data.size()),
+                 st, id, "tcp.receive-queue-gap",
+                 "receive queue segments are not contiguous")) {
+        break;
+      }
+    }
+  }
+  check(rx_bytes == cb.receive_queue_bytes, st, id, "tcp.rx-byte-counter",
+        "receive_queue_bytes disagrees with the queue contents");
+
+  for (const auto& [seq, seg] : cb.ooo_queue) {
+    check(seq == seg.seq, st, id, "tcp.ooo-key-mismatch",
+          "ooo map key differs from the segment's seq");
+    check(stack::seq_gt(seq, cb.rcv_nxt), st, id, "tcp.ooo-not-beyond-rcv-nxt",
+          "ooo segment at or before rcv_nxt was never drained");
+    check(seq - cb.rcv_nxt < cb.rcv_wnd_max, st, id, "tcp.ooo-out-of-window",
+          "ooo segment outside the receive window");
+    check(!seg.data.empty() || seg.fin, st, id, "tcp.ooo-empty",
+          "empty non-FIN segment buffered out of order");
+  }
+
+  // --- socket-lock queues (Section V-C1) ---
+  check(cb.user_locked || cb.backlog.empty(), st, id, "tcp.backlog-unlocked",
+        "backlog packets without the user lock held");
+  check(cb.blocked_reader || cb.prequeue.empty(), st, id, "tcp.prequeue-no-reader",
+        "prequeue packets without a blocked reader");
+}
+
+void Verifier::audit_stack(const NetStack& st) {
+  const stack::SocketTable& table = st.table();
+
+  // Table -> socket direction, plus the per-port established refcounts.
+  std::unordered_map<std::uint16_t, std::uint32_t> port_refs;
+  table.for_each_established(
+      [&](const FourTuple& key, const std::shared_ptr<TcpSocket>& sock) {
+        if (!check(sock != nullptr, st, 0, "ehash.null", "null ehash entry")) {
+          return;
+        }
+        port_refs[key.local.port] += 1;
+        audit_tcp(st, key, *sock);
+      });
+  for (const auto& [port, refs] : port_refs) {
+    check(table.tcp_local_port_refs(port) == refs, st, 0, "ehash.port-refcount",
+          "established local-port refcount disagrees with ehash");
+  }
+  check(table.tcp_tracked_port_count() == port_refs.size(), st, 0,
+        "ehash.port-refcount-stale",
+        "refcount table tracks ports with no established socket");
+
+  table.for_each_bound([&](net::Port port, const std::shared_ptr<Socket>& sock) {
+    if (!check(sock != nullptr, st, 0, "bhash.null", "null bhash entry")) return;
+    const std::uint64_t id = sock->sock_id();
+    check(port != 0, st, id, "bhash.port-zero", "socket bound to port 0");
+    check(sock->local().port == port, st, id, "bhash.key-mismatch",
+          "bhash key differs from the socket's local port");
+    if (sock->type() == SocketType::tcp) {
+      const auto& tcp = static_cast<const TcpSocket&>(*sock);
+      check(tcp.hashed_bound(), st, id, "bhash.flag-mismatch",
+            "TCP socket in bhash but hashed_bound() is false");
+      check(tcp.state() == TcpState::listen, st, id, "bhash.tcp-not-listening",
+            "non-listening TCP socket in bhash");
+    } else {
+      const auto& udp = static_cast<const UdpSocket&>(*sock);
+      check(udp.cb().bound, st, id, "bhash.flag-mismatch",
+            "UDP socket in bhash but cb().bound is false");
+      check(!udp.migration_disabled(), st, id, "bhash.disabled-socket",
+            "migration-disabled UDP socket still hashed");
+    }
+  });
+
+  // Socket -> table direction: every socket claiming to be hashed is findable.
+  st.for_each_socket([&](const Socket& sock) {
+    const std::uint64_t id = sock.sock_id();
+    if (sock.type() == SocketType::tcp) {
+      const auto& tcp = static_cast<const TcpSocket&>(sock);
+      if (tcp.hashed_established()) {
+        const auto found =
+            table.ehash_lookup(FourTuple{tcp.local(), tcp.remote()});
+        check(found.get() == &tcp, st, id, "ehash.dangling-flag",
+              "hashed_established() set but the socket is not in ehash");
+      }
+      if (tcp.hashed_bound()) {
+        const auto bucket = table.bhash_lookup(tcp.local().port);
+        const bool present = std::any_of(
+            bucket.begin(), bucket.end(),
+            [&](const auto& s) { return s.get() == &tcp; });
+        check(present, st, id, "bhash.dangling-flag",
+              "hashed_bound() set but the socket is not in bhash");
+      }
+    } else {
+      const auto& udp = static_cast<const UdpSocket&>(sock);
+      if (udp.cb().bound && !udp.migration_disabled()) {
+        const auto bucket = table.bhash_lookup(udp.local().port);
+        const bool present = std::any_of(
+            bucket.begin(), bucket.end(),
+            [&](const auto& s) { return s.get() == &udp; });
+        check(present, st, id, "bhash.dangling-flag",
+              "bound UDP socket is not in bhash");
+      }
+    }
+  });
+}
+
+void Verifier::audit_capture(const mig::CaptureManager& cm) {
+  // Per session: the queue must not hold two TCP packets with the same sequence
+  // identity — the dedup set exists precisely to prevent this (Section V-B).
+  std::unordered_map<std::uint64_t,
+                     std::set<std::tuple<std::uint32_t, std::uint16_t,
+                                         std::uint16_t, std::uint32_t>>>
+      seen;
+  cm.for_each_queued([&](std::uint64_t session, const net::Packet& p) {
+    checks_ += 1;
+    if (p.proto != net::IpProto::tcp) return;
+    const auto key =
+        std::make_tuple(p.src.value, p.tcp.sport, p.tcp.dport, p.tcp.seq);
+    if (!seen[session].insert(key).second) {
+      report("capture.duplicate-seq",
+             "capture session " + std::to_string(session) +
+                 " queues TCP seq " + std::to_string(p.tcp.seq) + " twice");
+    }
+  });
+}
+
+void Verifier::on_channel_frame(const mig::FrameChannel& ch, bool outbound,
+                                mig::MsgType type, std::size_t payload_len) {
+  (void)payload_len;
+  protocol_.on_frame(&ch, outbound, type);
+}
+
+void Verifier::on_channel_closed(const mig::FrameChannel& ch) {
+  protocol_.on_closed(&ch);
+}
+
+}  // namespace dvemig::check

@@ -1,0 +1,109 @@
+// dvemig-verify — opt-in runtime auditor for cross-module invariants.
+//
+// The simulator's numbers only mean something if its state machines are honest:
+// a silently corrupted socket table or an out-of-order migration handshake
+// produces plausible-looking but wrong reproductions of the paper's figures.
+// The Verifier hooks the discrete-event engine and, after every event (or every
+// N events), re-derives the invariants the rest of the code merely assumes:
+//
+//  - SocketTable bijectivity: every ehash entry points at a live, hashed,
+//    correctly-keyed TCP socket, and — via the stack's socket registry — every
+//    socket that *claims* to be hashed really is in the table (Section V-C
+//    unhash/rehash discipline). Same for bhash, plus the established-local-port
+//    refcounts used by ephemeral allocation.
+//  - TCP sequence-space sanity: snd_una <= snd_nxt, the write queue is
+//    contiguous and brackets snd_una/snd_nxt, the out-of-order queue holds only
+//    in-window segments beyond rcv_nxt, the receive queue is contiguous and its
+//    byte counter is exact, and the lock-modelling queues (backlog/prequeue) are
+//    empty unless the corresponding lock state justifies them.
+//  - Capture dedup: no capture session queues two TCP packets with the same
+//    (src, sport, dport, seq) — the paper's loss prevention stores duplicates
+//    only once (Section V-B).
+//  - Protocol ordering: every migd FrameChannel is checked against the paper's
+//    migration state machine (see protocol_checker.hpp).
+//
+// A violation is a bug in the simulator, not a recoverable condition: by default
+// the Verifier aborts with a diagnostic, exactly like DVEMIG_ASSERT. Tests that
+// deliberately corrupt state set abort_on_violation = false and inspect
+// violations() instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/check/protocol_checker.hpp"
+#include "src/mig/capture.hpp"
+#include "src/sim/engine.hpp"
+#include "src/stack/net_stack.hpp"
+
+namespace dvemig::check {
+
+struct Violation {
+  std::string rule;    // dotted id, e.g. "ehash.key-mismatch"
+  std::string detail;  // human-readable context
+};
+
+struct VerifierConfig {
+  /// Audit after every Nth engine event (1 = every event).
+  std::uint64_t every_n_events{1};
+  /// Abort the process on the first violation (DVEMIG_ASSERT semantics).
+  bool abort_on_violation{true};
+  /// Cap on stored Violation records (the counter keeps counting past it).
+  std::size_t max_recorded{256};
+};
+
+class Verifier final : public mig::FrameChannel::Observer {
+ public:
+  explicit Verifier(sim::Engine& engine, VerifierConfig cfg = {});
+  ~Verifier() override;
+  Verifier(const Verifier&) = delete;
+  Verifier& operator=(const Verifier&) = delete;
+
+  /// Audit this stack's socket tables and TCP control blocks. The stack must
+  /// outlive the Verifier.
+  void watch_stack(const stack::NetStack& st);
+  /// Audit this capture manager's dedup invariant. Must outlive the Verifier.
+  void watch_capture(const mig::CaptureManager& cm);
+
+  /// Run every registered audit immediately (also what the engine hook calls).
+  void audit_now();
+
+  std::uint64_t audits_run() const { return audits_; }
+  /// Individual invariant evaluations across all audits (cheap progress proof
+  /// that the auditor actually looked at something).
+  std::uint64_t checks_run() const { return checks_; }
+  std::uint64_t violation_count() const { return violation_count_; }
+  const std::vector<Violation>& violations() const { return violations_; }
+  bool clean() const { return violation_count_ == 0; }
+
+  ProtocolChecker& protocol() { return protocol_; }
+
+  // --- mig::FrameChannel::Observer ---
+  void on_channel_frame(const mig::FrameChannel& ch, bool outbound,
+                        mig::MsgType type, std::size_t payload_len) override;
+  void on_channel_closed(const mig::FrameChannel& ch) override;
+
+ private:
+  void on_event();
+  void report(const std::string& rule, const std::string& detail);
+  void audit_stack(const stack::NetStack& st);
+  void audit_tcp(const stack::NetStack& st, const stack::FourTuple& key,
+                 const stack::TcpSocket& tcp);
+  void audit_capture(const mig::CaptureManager& cm);
+  bool check(bool ok, const stack::NetStack& st, std::uint64_t sock_id,
+             const char* rule, const char* what);
+
+  sim::Engine* engine_;
+  VerifierConfig cfg_;
+  std::vector<const stack::NetStack*> stacks_;
+  std::vector<const mig::CaptureManager*> captures_;
+  std::vector<Violation> violations_;
+  std::uint64_t violation_count_{0};
+  std::uint64_t events_seen_{0};
+  std::uint64_t audits_{0};
+  std::uint64_t checks_{0};
+  ProtocolChecker protocol_;
+};
+
+}  // namespace dvemig::check

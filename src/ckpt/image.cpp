@@ -76,9 +76,11 @@ ProcessImage ProcessImage::deserialize(BinaryReader& r) {
   img.pid = Pid{r.u32()};
   img.name = r.str();
   const std::uint32_t na = r.u32();
+  DVEMIG_EXPECTS(na <= r.remaining());  // each area consumes >= 1 byte
   img.areas.reserve(na);
   for (std::uint32_t i = 0; i < na; ++i) img.areas.push_back(read_area(r));
   const std::uint32_t nt = r.u32();
+  DVEMIG_EXPECTS(nt <= r.remaining());
   img.threads.reserve(nt);
   for (std::uint32_t i = 0; i < nt; ++i) img.threads.push_back(read_thread(r));
   const std::uint32_t ns = r.u32();
@@ -87,6 +89,7 @@ ProcessImage ProcessImage::deserialize(BinaryReader& r) {
     img.signal_handlers[sig] = r.u64();
   }
   const std::uint32_t nf = r.u32();
+  DVEMIG_EXPECTS(nf <= r.remaining());
   img.regular_files.reserve(nf);
   for (std::uint32_t i = 0; i < nf; ++i) {
     FileImage f;
@@ -97,6 +100,7 @@ ProcessImage ProcessImage::deserialize(BinaryReader& r) {
     img.regular_files.push_back(std::move(f));
   }
   const std::uint32_t nsock = r.u32();
+  DVEMIG_EXPECTS(nsock <= r.remaining());
   img.socket_fds.reserve(nsock);
   for (std::uint32_t i = 0; i < nsock; ++i) img.socket_fds.push_back(r.i32());
   img.app_kind = r.str();
@@ -172,6 +176,7 @@ MemoryDelta MemoryDelta::deserialize(BinaryReader& r) {
   const std::uint32_t nm = r.u32();
   for (std::uint32_t i = 0; i < nm; ++i) d.modified_areas.push_back(read_area(r));
   const std::uint32_t np = r.u32();
+  DVEMIG_EXPECTS(np <= r.remaining());  // each page record is > 1 byte
   d.dirty_pages.reserve(np);
   for (std::uint32_t i = 0; i < np; ++i) {
     d.dirty_pages.push_back(r.u64());

@@ -63,6 +63,7 @@ std::shared_ptr<proc::AppLogic> GameServerApp::deserialize(BinaryReader& r) {
   auto app = std::make_shared<GameServerApp>(cfg);
   app->sock_fd_ = r.i32();
   const std::uint32_t n = r.u32();
+  DVEMIG_EXPECTS(n <= r.remaining());
   app->clients_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     ClientEntry c;

@@ -94,6 +94,7 @@ std::shared_ptr<proc::AppLogic> ZoneServerApp::deserialize(BinaryReader& r) {
   app->listener_fd_ = r.i32();
   app->db_fd_ = r.i32();
   const std::uint32_t n = r.u32();
+  DVEMIG_EXPECTS(n <= r.remaining());
   app->client_fds_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) app->client_fds_.push_back(r.i32());
   app->update_seq_ = r.u32();

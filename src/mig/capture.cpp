@@ -43,6 +43,19 @@ std::size_t CaptureManager::queued(std::uint64_t session) const {
   return it == sessions_.end() ? 0 : it->second.queue.size();
 }
 
+void CaptureManager::for_each_queued(
+    const std::function<void(std::uint64_t, const net::Packet&)>& fn) const {
+  for (const auto& [id, session] : sessions_) {
+    for (const net::Packet& p : session.queue) fn(id, p);
+  }
+}
+
+void CaptureManager::inject_queued_for_test(std::uint64_t session, net::Packet p) {
+  const auto it = sessions_.find(session);
+  DVEMIG_EXPECTS(it != sessions_.end());
+  it->second.queue.push_back(std::move(p));
+}
+
 void CaptureManager::update_hook() {
   if (sessions_.empty()) {
     hook_.release();

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -38,6 +39,14 @@ class CaptureManager {
 
   std::size_t queued(std::uint64_t session) const;
   std::size_t active_sessions() const { return sessions_.size(); }
+  /// Audit iteration (dvemig-verify): visit every queued packet of every open
+  /// session, in arrival order within a session.
+  void for_each_queued(
+      const std::function<void(std::uint64_t session, const net::Packet&)>& fn) const;
+  /// Test seam: enqueue a packet directly, bypassing the capture hook and the
+  /// dedup filter. Exists so dvemig-verify tests can plant a corrupted queue
+  /// and prove the auditor notices; production code must never call it.
+  void inject_queued_for_test(std::uint64_t session, net::Packet p);
   std::size_t total_specs() const;
   std::uint64_t total_captured() const { return total_captured_; }
   std::uint64_t total_deduplicated() const { return total_deduplicated_; }

@@ -130,6 +130,25 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
 
   MigrationStats& stats() { return stats_; }
 
+  /// Break the session <-> socket/channel reference cycles: every callback
+  /// installed above captures shared_from_this(), so a finished session would
+  /// otherwise keep itself (and its sockets, trackers and staged state) alive
+  /// forever. Must not run inside one of those callbacks — clearing a
+  /// std::function that is currently executing destroys its captures mid-call.
+  void detach_callbacks() {
+    connect_timer_.cancel();
+    if (channel_) {
+      channel_->set_on_frame(nullptr);
+      channel_->set_on_error(nullptr);
+    }
+    if (sock_) {
+      sock_->set_on_connected(nullptr);
+      sock_->set_on_reset(nullptr);
+      sock_->set_on_drained(nullptr);
+    }
+    if (ctrl_) ctrl_->set_on_readable(nullptr);
+  }
+
  private:
   struct MigSocket {
     Fd fd;
@@ -152,11 +171,20 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
     });
   }
 
+  /// finish()/fail() run inside channel or socket callbacks; detach on a
+  /// fresh event once the dispatch that called us has unwound.
+  void detach_later() {
+    engine().schedule_after(SimTime::zero(), [self = shared_from_this()] {
+      self->detach_callbacks();
+    });
+  }
+
   void fail(const std::string& why) {
     DVEMIG_WARN("migd", "migration of pid %u failed: %s", stats_.pid.value,
                 why.c_str());
     if (proc_->frozen()) proc_->resume();  // best effort: keep the source alive
     stats_.success = false;
+    detach_later();
     owner_->source_finished(stats_);
   }
 
@@ -166,6 +194,15 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
         [self = shared_from_this()](MsgType t, BinaryReader& r) {
           self->on_frame(t, r);
         });
+    // A malformed reply stream means the destination is garbage-in, garbage-out:
+    // give up on the migration rather than deserialize noise. Deferred one event
+    // so the channel is not torn down from inside its own receive path.
+    channel_->set_on_error([self = shared_from_this()](const char* reason) {
+      DVEMIG_WARN("migd", "pid %u source channel: %s", self->stats_.pid.value,
+                  reason);
+      self->engine().schedule_after(SimTime::zero(),
+                                    [self] { self->fail("malformed frame"); });
+    });
     BinaryWriter w;
     w.u32(stats_.pid.value);
     w.str(proc_->name());
@@ -556,6 +593,7 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
     node_->kill(stats_.pid);
     sock_->close();
     ctrl_->close();
+    detach_later();
     owner_->source_finished(stats_);
   }
 
@@ -597,6 +635,33 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
         [self = shared_from_this()](MsgType t, BinaryReader& r) {
           self->on_frame(t, r);
         });
+    // Malformed inbound frames: tell the source the migration is dead (mig_abort
+    // is still sendable — only the receive side is poisoned), drop any armed
+    // capture filters, and retire this session. Deferred one event so the
+    // channel is not destroyed from inside its own receive path.
+    channel_->set_on_error([self = shared_from_this()](const char* reason) {
+      DVEMIG_WARN("migd", "dest channel on %s: %s", self->node_->name().c_str(),
+                  reason);
+      self->channel_->send(MsgType::mig_abort, Buffer{});
+      self->engine().schedule_after(SimTime::zero(), [self] {
+        self->owner_->capture_.abort_session(self->capture_session_);
+        self->sock_->close();
+        self->detach_callbacks();
+        self->owner_->release_dest_session(self.get());
+      });
+    });
+  }
+
+  /// Same cycle breaker as SourceSession::detach_callbacks(): the channel
+  /// handlers and on_peer_closed capture shared_from_this(); a released
+  /// session would otherwise pin itself (and the restored process image) in
+  /// memory. Must not run inside one of those callbacks.
+  void detach_callbacks() {
+    if (channel_) {
+      channel_->set_on_frame(nullptr);
+      channel_->set_on_error(nullptr);
+    }
+    if (sock_) sock_->set_on_peer_closed(nullptr);
   }
 
  private:
@@ -632,6 +697,7 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
       }
       case MsgType::capture_request: {
         const std::uint32_t n = r.u32();
+        DVEMIG_EXPECTS(n <= r.remaining());  // each spec consumes >= 1 byte
         std::vector<CaptureSpec> specs;
         specs.reserve(n);
         for (std::uint32_t i = 0; i < n; ++i) {
@@ -727,10 +793,15 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
     w.u64(reinjected);
     channel_->send(MsgType::resume_done, std::move(w));
 
-    // Let the peer close first; drop our reference afterwards.
+    // Let the peer close first; drop our reference afterwards. The detach is
+    // deferred one event because this handler is itself one of the callbacks
+    // detach_callbacks() clears.
     sock_->set_on_peer_closed([self = shared_from_this()] {
       self->sock_->close();
-      self->owner_->release_dest_session(self.get());
+      self->engine().schedule_after(SimTime::zero(), [self] {
+        self->detach_callbacks();
+        self->owner_->release_dest_session(self.get());
+      });
     });
   }
 
@@ -760,6 +831,15 @@ Migd::Migd(proc::Node& node, CostModel cm)
       capture_(node.stack()),
       translation_(node.stack()),
       transd_(node, translation_, cm) {}
+
+Migd::~Migd() {
+  // Sessions still parked here (a dest that saw mig_abort, or anything
+  // mid-flight when the node goes down) hold themselves alive through their
+  // shared_from_this() callback captures; break the cycles so dropping the
+  // shared_ptrs below actually reclaims them.
+  if (src_session_) src_session_->detach_callbacks();
+  for (const auto& s : dst_sessions_) s->detach_callbacks();
+}
 
 void Migd::start() {
   transd_.start();

@@ -109,6 +109,7 @@ class Migd {
   using DoneFn = std::function<void(const MigrationStats&)>;
 
   Migd(proc::Node& node, CostModel cm = {});
+  ~Migd();
 
   /// Start listening for inbound migrations (TCP kMigdPort on the local address).
   void start();

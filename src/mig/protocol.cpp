@@ -2,6 +2,21 @@
 
 namespace dvemig::mig {
 
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::mig_begin: return "mig_begin";
+    case MsgType::memory_delta: return "memory_delta";
+    case MsgType::capture_request: return "capture_request";
+    case MsgType::capture_enabled: return "capture_enabled";
+    case MsgType::socket_state: return "socket_state";
+    case MsgType::socket_ack: return "socket_ack";
+    case MsgType::process_image: return "process_image";
+    case MsgType::resume_done: return "resume_done";
+    case MsgType::mig_abort: return "mig_abort";
+  }
+  return "?";
+}
+
 FrameChannel::FrameChannel(stack::TcpSocket::Ptr sock) : sock_(std::move(sock)) {
   DVEMIG_EXPECTS(sock_ != nullptr);
   sock_->set_on_readable([this] { on_readable(); });
@@ -9,7 +24,13 @@ FrameChannel::FrameChannel(stack::TcpSocket::Ptr sock) : sock_(std::move(sock)) 
   on_readable();
 }
 
+FrameChannel::~FrameChannel() {
+  if (observer_) observer_->on_channel_closed(*this);
+}
+
 void FrameChannel::send(MsgType type, const Buffer& payload) {
+  if (observer_) observer_->on_channel_frame(*this, /*outbound=*/true, type,
+                                             payload.size());
   BinaryWriter frame;
   frame.u32(static_cast<std::uint32_t>(payload.size() + 1));
   frame.u8(static_cast<std::uint8_t>(type));
@@ -18,7 +39,17 @@ void FrameChannel::send(MsgType type, const Buffer& payload) {
   sock_->send(frame.take());
 }
 
+void FrameChannel::fail_rx(const char* reason) {
+  errored_ = true;
+  rx_buffer_.clear();
+  // Stop listening: anything after a framing error is unparseable noise.
+  sock_->set_on_readable(nullptr);
+  if (observer_) observer_->on_channel_error(*this, reason);
+  if (on_error_) on_error_(reason);
+}
+
 void FrameChannel::on_readable() {
+  if (errored_) return;
   Buffer chunk = sock_->read();
   rx_buffer_.insert(rx_buffer_.end(), chunk.begin(), chunk.end());
 
@@ -26,11 +57,19 @@ void FrameChannel::on_readable() {
   while (rx_buffer_.size() - off >= 4) {
     BinaryReader len_reader({rx_buffer_.data() + off, 4});
     const std::uint32_t len = len_reader.u32();
+    if (len == 0) return fail_rx("zero-length frame");
+    if (len > kMaxFrameLen) return fail_rx("frame length exceeds cap");
     if (rx_buffer_.size() - off - 4 < len) break;  // incomplete frame
     BinaryReader body({rx_buffer_.data() + off + 4, len});
-    const auto type = static_cast<MsgType>(body.u8());
+    const std::uint8_t raw_type = body.u8();
+    if (!msg_type_valid(raw_type)) return fail_rx("unknown frame type");
+    const auto type = static_cast<MsgType>(raw_type);
     off += 4 + len;
+    if (observer_) {
+      observer_->on_channel_frame(*this, /*outbound=*/false, type, len - 1);
+    }
     if (on_frame_) on_frame_(type, body);
+    if (errored_) return;  // the frame callback tore the channel down
   }
   if (off > 0) {
     rx_buffer_.erase(rx_buffer_.begin(), rx_buffer_.begin() + static_cast<std::ptrdiff_t>(off));

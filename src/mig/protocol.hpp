@@ -30,15 +30,59 @@ enum class MsgType : std::uint8_t {
   mig_abort = 9,      // either direction
 };
 
+const char* msg_type_name(MsgType t);
+
+inline constexpr std::uint8_t kMsgTypeMin = 1;
+inline constexpr std::uint8_t kMsgTypeMax = 9;
+
+inline bool msg_type_valid(std::uint8_t v) {
+  return v >= kMsgTypeMin && v <= kMsgTypeMax;
+}
+
+/// Largest frame length (type byte + payload) the receive side accepts. Frames
+/// carry at most one precopy round's memory delta; anything past this cap is a
+/// corrupted or hostile length field, not data.
+inline constexpr std::uint32_t kMaxFrameLen = 256u * 1024 * 1024;
+
 /// Sockets deliver a byte stream; FrameChannel reassembles protocol frames and
 /// hands them to a callback. Also the send side: frame + stream into the socket.
+///
+/// Malformed input (zero-length frame, length above kMaxFrameLen, out-of-range
+/// MsgType) does not reach the frame callback: the channel poisons itself, stops
+/// parsing and reports through the error callback, so migd can answer with
+/// mig_abort instead of feeding garbage to the deserializers.
 class FrameChannel {
  public:
   using FrameFn = std::function<void(MsgType, BinaryReader&)>;
+  using ErrorFn = std::function<void(const char* reason)>;
+
+  /// Process-wide tap on every frame sent or delivered by any channel, plus
+  /// channel teardown. This is how dvemig-verify's protocol checker watches the
+  /// migd wire protocol without migd knowing about it. One observer at most.
+  class Observer {
+   public:
+    virtual ~Observer() = default;
+    /// `outbound` is from this channel's point of view (true = send()).
+    virtual void on_channel_frame(const FrameChannel& ch, bool outbound,
+                                  MsgType type, std::size_t payload_len) = 0;
+    virtual void on_channel_error(const FrameChannel& ch, const char* reason) {
+      (void)ch;
+      (void)reason;
+    }
+    virtual void on_channel_closed(const FrameChannel& ch) { (void)ch; }
+  };
+
+  static void set_observer(Observer* obs) { observer_ = obs; }
+  static Observer* observer() { return observer_; }
 
   explicit FrameChannel(stack::TcpSocket::Ptr sock);
+  FrameChannel(const FrameChannel&) = delete;
+  FrameChannel& operator=(const FrameChannel&) = delete;
+  ~FrameChannel();
 
   void set_on_frame(FrameFn fn) { on_frame_ = std::move(fn); }
+  /// Invoked (at most once) when the receive stream is malformed.
+  void set_on_error(ErrorFn fn) { on_error_ = std::move(fn); }
 
   void send(MsgType type, const Buffer& payload);
   void send(MsgType type, BinaryWriter&& payload) { send(type, payload.buffer()); }
@@ -47,14 +91,21 @@ class FrameChannel {
   const stack::TcpSocket::Ptr& socket_ptr() const { return sock_; }
 
   std::uint64_t bytes_sent() const { return bytes_sent_; }
+  /// True once malformed input poisoned the receive side.
+  bool errored() const { return errored_; }
 
  private:
   void on_readable();
+  void fail_rx(const char* reason);
+
+  static inline Observer* observer_ = nullptr;
 
   stack::TcpSocket::Ptr sock_;
   Buffer rx_buffer_;
   FrameFn on_frame_;
+  ErrorFn on_error_;
   std::uint64_t bytes_sent_{0};
+  bool errored_{false};
 };
 
 }  // namespace dvemig::mig

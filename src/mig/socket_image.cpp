@@ -86,6 +86,7 @@ void TcpImage::deserialize_static(BinaryReader& r) {
   rcv_wnd_max = r.u32();
   r.skip(kTcpSockStructPad);
   const std::uint32_t nchildren = r.u32();
+  DVEMIG_EXPECTS(nchildren <= r.remaining());  // each child image is > 1 byte
   accept_children.resize(nchildren);
   for (TcpImage& child : accept_children) {
     child.deserialize_static(r);
@@ -159,6 +160,7 @@ void TcpImage::deserialize_queues(BinaryReader& r) {
   receive_queue.clear();
   ooo_queue.clear();
   const std::uint32_t nw = r.u32();
+  DVEMIG_EXPECTS(nw <= r.remaining());
   write_queue.reserve(nw);
   for (std::uint32_t i = 0; i < nw; ++i) {
     TcpSegmentImage s;
@@ -173,6 +175,7 @@ void TcpImage::deserialize_queues(BinaryReader& r) {
   }
   auto read_rx = [&r](std::vector<TcpRxImage>& q) {
     const std::uint32_t n = r.u32();
+    DVEMIG_EXPECTS(n <= r.remaining());
     q.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
       TcpRxImage s;
@@ -221,6 +224,7 @@ void UdpImage::serialize_queues(BinaryWriter& w) const {
 void UdpImage::deserialize_queues(BinaryReader& r) {
   receive_queue.clear();
   const std::uint32_t n = r.u32();
+  DVEMIG_EXPECTS(n <= r.remaining());
   receive_queue.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     const net::Endpoint from = read_endpoint(r);

@@ -11,6 +11,8 @@ bool Engine::fire_next() {
     now_ = ev.when;
     *ev.alive = false;  // consume before firing so re-arming inside fn works
     ev.fn();
+    events_fired_ += 1;
+    if (post_event_) post_event_();
     return true;
   }
   return false;

@@ -76,6 +76,14 @@ class Engine {
 
   std::size_t pending_events() const { return queue_.size(); }
 
+  /// Install a hook that runs after every fired event, while the queue is
+  /// quiescent. This is how the dvemig-verify auditor (src/check) observes the
+  /// simulation: cross-module invariants hold *between* events, not during them.
+  /// One hook at most; pass nullptr to uninstall.
+  void set_post_event_hook(EventFn fn) { post_event_ = std::move(fn); }
+
+  std::uint64_t events_fired() const { return events_fired_; }
+
  private:
   struct Event {
     SimTime when;
@@ -95,7 +103,9 @@ class Engine {
 
   SimTime now_{SimTime::zero()};
   std::uint64_t next_seq_{0};
+  std::uint64_t events_fired_{0};
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventFn post_event_;
 };
 
 }  // namespace dvemig::sim

@@ -174,11 +174,22 @@ void NetStack::dst_cache_replace(std::uint64_t sock_id, net::Ipv4Addr next_hop) 
 void NetStack::dst_cache_drop(std::uint64_t sock_id) { dst_cache_.erase(sock_id); }
 
 std::shared_ptr<UdpSocket> NetStack::make_udp() {
-  return std::make_shared<UdpSocket>(*this, next_sock_id());
+  auto sock = std::make_shared<UdpSocket>(*this, next_sock_id());
+  socket_registry_.push_back(sock);
+  return sock;
 }
 
 std::shared_ptr<TcpSocket> NetStack::make_tcp() {
-  return std::make_shared<TcpSocket>(*this, next_sock_id());
+  auto sock = std::make_shared<TcpSocket>(*this, next_sock_id());
+  socket_registry_.push_back(sock);
+  return sock;
+}
+
+void NetStack::for_each_socket(const std::function<void(const Socket&)>& fn) const {
+  std::erase_if(socket_registry_, [](const auto& w) { return w.expired(); });
+  for (const auto& weak : socket_registry_) {
+    if (const auto sock = weak.lock()) fn(*sock);
+  }
 }
 
 }  // namespace dvemig::stack

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -87,6 +88,11 @@ class NetStack {
   std::uint64_t next_sock_id() { return ++sock_id_counter_; }
   std::uint32_t next_isn();
 
+  /// Visit every socket created by this stack that is still alive (dvemig-verify
+  /// uses this for the flag→table direction of the hash bijectivity check).
+  /// Expired registry entries are pruned as a side effect.
+  void for_each_socket(const std::function<void(const Socket&)>& fn) const;
+
   const StackStats& stats() const { return stats_; }
 
  private:
@@ -106,6 +112,8 @@ class NetStack {
   SocketTable table_;
   NetfilterChain netfilter_;
   std::unordered_map<std::uint64_t, net::Ipv4Addr> dst_cache_;
+  // Weak registry of every socket ever made; pruned lazily by for_each_socket.
+  mutable std::vector<std::weak_ptr<Socket>> socket_registry_;
   std::uint64_t sock_id_counter_{0};
   Rng isn_rng_;
   StackStats stats_;

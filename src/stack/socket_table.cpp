@@ -76,6 +76,24 @@ net::Port SocketTable::allocate_ephemeral_port(SocketType type) {
   DVEMIG_UNREACHABLE("ephemeral port space exhausted");
 }
 
+void SocketTable::for_each_established(
+    const std::function<void(const FourTuple&, const std::shared_ptr<TcpSocket>&)>&
+        fn) const {
+  for (const auto& [key, sock] : ehash_) fn(key, sock);
+}
+
+void SocketTable::for_each_bound(
+    const std::function<void(net::Port, const std::shared_ptr<Socket>&)>& fn) const {
+  for (const auto& [port, bucket] : bhash_) {
+    for (const auto& sock : bucket) fn(port, sock);
+  }
+}
+
+std::uint32_t SocketTable::tcp_local_port_refs(net::Port port) const {
+  const auto it = tcp_local_ports_.find(port);
+  return it == tcp_local_ports_.end() ? 0 : it->second;
+}
+
 void SocketTable::set_ephemeral_start(net::Port port) {
   DVEMIG_EXPECTS(port >= 49152);
   next_ephemeral_ = port;

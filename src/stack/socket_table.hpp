@@ -8,6 +8,7 @@
 // it on the destination node.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -62,6 +63,21 @@ class SocketTable {
   /// Start the ephemeral scan at a per-host position (reduces the chance that two
   /// hosts pick equal ports for connections that might later share a node).
   void set_ephemeral_start(net::Port port);
+
+  // --- audit iteration (dvemig-verify, src/check) ---
+
+  /// Visit every (4-tuple, socket) pair in ehash. Read-only; iteration order is
+  /// unspecified.
+  void for_each_established(
+      const std::function<void(const FourTuple&, const std::shared_ptr<TcpSocket>&)>&
+          fn) const;
+  /// Visit every (port, socket) pair in bhash.
+  void for_each_bound(
+      const std::function<void(net::Port, const std::shared_ptr<Socket>&)>& fn) const;
+  /// Reference count kept for an established-TCP local port (0 when untracked).
+  std::uint32_t tcp_local_port_refs(net::Port port) const;
+  /// Number of distinct local ports with a nonzero established-TCP refcount.
+  std::size_t tcp_tracked_port_count() const { return tcp_local_ports_.size(); }
 
  private:
   std::unordered_map<FourTuple, std::shared_ptr<TcpSocket>, FourTupleHash> ehash_;

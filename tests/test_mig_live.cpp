@@ -6,6 +6,7 @@
 
 #include <map>
 
+#include "src/check/verifier.hpp"
 #include "src/dve/game_server.hpp"
 #include "src/dve/population.hpp"
 #include "src/dve/testbed.hpp"
@@ -20,10 +21,31 @@ using mig::SocketMigStrategy;
 struct LiveMigrationFixture : ::testing::Test {
   dve::TestbedConfig cfg;
   std::unique_ptr<dve::Testbed> bed;
+  // Declared after `bed` so it detaches from the engine before teardown.
+  std::unique_ptr<check::Verifier> verify;
 
   void SetUp() override {
     cfg.dve_nodes = 3;
     bed = std::make_unique<dve::Testbed>(cfg);
+    // dvemig-verify rides along on every live-migration test: socket tables,
+    // TCP control blocks, capture queues and the migd protocol all audited.
+    check::VerifierConfig vcfg;
+    vcfg.abort_on_violation = false;
+    vcfg.every_n_events = 32;  // the testbed fires millions of events per test
+    verify = std::make_unique<check::Verifier>(bed->engine(), vcfg);
+    for (std::size_t i = 0; i < bed->node_count(); ++i) {
+      verify->watch_stack(bed->node(i).node.stack());
+      verify->watch_capture(bed->node(i).migd.capture());
+    }
+    if (bed->db_node() != nullptr) verify->watch_stack(bed->db_node()->stack());
+  }
+
+  void TearDown() override {
+    if (verify) {
+      EXPECT_TRUE(verify->clean())
+          << verify->violations().front().rule << ": "
+          << verify->violations().front().detail;
+    }
   }
 
   MigrationStats migrate(Pid pid, std::size_t from, std::size_t to,

@@ -3,6 +3,7 @@
 // dst-cache replacement), socket images, timestamp adjustment, delta tracking.
 #include <gtest/gtest.h>
 
+#include "src/check/verifier.hpp"
 #include "src/mig/capture.hpp"
 #include "src/mig/cost_model.hpp"
 #include "src/mig/delta_tracker.hpp"
@@ -21,12 +22,20 @@ const net::Ipv4Addr kAddrA = net::Ipv4Addr::octets(10, 0, 0, 1);
 const net::Ipv4Addr kAddrB = net::Ipv4Addr::octets(10, 0, 0, 2);
 const net::Ipv4Addr kAddrC = net::Ipv4Addr::octets(10, 0, 0, 3);
 
+check::VerifierConfig audit_cfg() {
+  check::VerifierConfig cfg;
+  cfg.abort_on_violation = false;  // report through gtest, not abort()
+  return cfg;
+}
+
 struct ThreeHosts {
   sim::Engine engine;
   net::Switch sw{engine, net::LinkConfig{1e9, SimTime::microseconds(25)}};
   NetStack a{engine, "hostA", SimTime::seconds(100)};
   NetStack b{engine, "hostB", SimTime::seconds(350)};
   NetStack c{engine, "hostC", SimTime::seconds(900)};
+  // dvemig-verify audits all three stacks after every event of every test.
+  check::Verifier verify{engine, audit_cfg()};
 
   ThreeHosts() {
     a.add_interface(kAddrA,
@@ -35,6 +44,15 @@ struct ThreeHosts {
                     sw.attach(kAddrB, [this](net::Packet p) { b.rx(std::move(p)); }));
     c.add_interface(kAddrC,
                     sw.attach(kAddrC, [this](net::Packet p) { c.rx(std::move(p)); }));
+    verify.watch_stack(a);
+    verify.watch_stack(b);
+    verify.watch_stack(c);
+  }
+
+  ~ThreeHosts() {
+    EXPECT_TRUE(verify.clean())
+        << verify.violations().front().rule << ": "
+        << verify.violations().front().detail;
   }
 
   std::pair<TcpSocket::Ptr, TcpSocket::Ptr> connect(NetStack& from, NetStack& to,

@@ -1,6 +1,13 @@
-// FrameChannel (the migd wire protocol) and netfilter chain edge cases.
+// FrameChannel (the migd wire protocol) and netfilter chain edge cases, plus
+// the malformed-frame corpus: hostile byte streams pushed through a real TCP
+// socket must poison the channel (never the deserializers) and surface as
+// mig_abort at the migd layer.
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "src/check/verifier.hpp"
+#include "src/dve/testbed.hpp"
 #include "src/mig/protocol.hpp"
 #include "src/net/switch.hpp"
 
@@ -110,6 +117,175 @@ TEST(FrameChannelTest, BytesSentCountsFraming) {
   p.client->send(MsgType::mig_begin, Buffer(100, 0));
   // 4 (length) + 1 (type) + 100 payload.
   EXPECT_EQ(p.client->bytes_sent(), 105u);
+}
+
+// ---------------------------------------------------- malformed-frame corpus
+
+// A raw TCP sender facing a FrameChannel receiver: the bytes cross the real
+// simulated stack (segmentation included), not a shortcut into the parser.
+struct RawPair {
+  sim::Engine engine;
+  net::Switch sw{engine, net::LinkConfig{1e9, SimTime::microseconds(25)}};
+  stack::NetStack a{engine, "a", SimTime::seconds(1)};
+  stack::NetStack b{engine, "b", SimTime::seconds(2)};
+  stack::TcpSocket::Ptr raw;  // attacker end: writes arbitrary bytes
+  std::unique_ptr<FrameChannel> server;
+  std::vector<MsgType> frames;
+  std::string error;
+
+  RawPair() {
+    a.add_interface(kAddrA,
+                    sw.attach(kAddrA, [this](net::Packet p) { a.rx(std::move(p)); }));
+    b.add_interface(kAddrB,
+                    sw.attach(kAddrB, [this](net::Packet p) { b.rx(std::move(p)); }));
+    auto listener = b.make_tcp();
+    listener->bind(kAddrB, kMigdPort);
+    listener->listen(4);
+    raw = a.make_tcp();
+    raw->connect(net::Endpoint{kAddrB, kMigdPort});
+    engine.run();
+    auto ssock = listener->accept();
+    EXPECT_NE(ssock, nullptr);
+    listener->close();
+    server = std::make_unique<FrameChannel>(std::move(ssock));
+    server->set_on_frame([this](MsgType t, BinaryReader&) { frames.push_back(t); });
+    server->set_on_error([this](const char* reason) { error = reason; });
+  }
+
+  void send_raw(Buffer bytes) {
+    raw->send(std::move(bytes));
+    engine.run();
+  }
+};
+
+TEST(MalformedFrame, TruncatedHeaderWaitsWithoutErroring) {
+  RawPair p;
+  p.send_raw(Buffer{5, 0});  // 2 of the 4 length bytes, then the peer goes quiet
+  EXPECT_FALSE(p.server->errored());
+  EXPECT_TRUE(p.frames.empty());
+}
+
+TEST(MalformedFrame, SplitValidFrameReassembles) {
+  RawPair p;
+  BinaryWriter w;
+  w.u32(3);
+  w.u8(static_cast<std::uint8_t>(MsgType::socket_state));
+  w.u8(0xAA);
+  w.u8(0xBB);
+  Buffer full = w.take();
+  p.send_raw(Buffer(full.begin(), full.begin() + 3));  // truncated header
+  EXPECT_TRUE(p.frames.empty());
+  EXPECT_FALSE(p.server->errored());
+  p.send_raw(Buffer(full.begin() + 3, full.end()));  // remainder
+  ASSERT_EQ(p.frames.size(), 1u);
+  EXPECT_EQ(p.frames[0], MsgType::socket_state);
+}
+
+TEST(MalformedFrame, ZeroLengthFrameRejected) {
+  RawPair p;
+  BinaryWriter w;
+  w.u32(0);
+  p.send_raw(w.take());
+  EXPECT_TRUE(p.server->errored());
+  EXPECT_EQ(p.error, "zero-length frame");
+  EXPECT_TRUE(p.frames.empty());
+}
+
+TEST(MalformedFrame, LengthOverflowRejectedBeforeBuffering) {
+  RawPair p;
+  BinaryWriter w;
+  w.u32(kMaxFrameLen + 1);  // claims a ~256 MiB frame; no payload ever follows
+  p.send_raw(w.take());
+  EXPECT_TRUE(p.server->errored());
+  EXPECT_EQ(p.error, "frame length exceeds cap");
+}
+
+TEST(MalformedFrame, UnknownTypeRejected) {
+  RawPair p;
+  BinaryWriter w;
+  w.u32(1);
+  w.u8(0xEE);  // not a MsgType
+  p.send_raw(w.take());
+  EXPECT_TRUE(p.server->errored());
+  EXPECT_EQ(p.error, "unknown frame type");
+  EXPECT_TRUE(p.frames.empty());
+}
+
+TEST(MalformedFrame, TypeZeroRejected) {
+  RawPair p;
+  BinaryWriter w;
+  w.u32(1);
+  w.u8(0);  // below kMsgTypeMin
+  p.send_raw(w.take());
+  EXPECT_TRUE(p.server->errored());
+  EXPECT_EQ(p.error, "unknown frame type");
+}
+
+TEST(MalformedFrame, PoisonedChannelIgnoresLaterValidFrames) {
+  RawPair p;
+  BinaryWriter bad;
+  bad.u32(0);
+  p.send_raw(bad.take());
+  ASSERT_TRUE(p.server->errored());
+
+  BinaryWriter good;
+  good.u32(1);
+  good.u8(static_cast<std::uint8_t>(MsgType::mig_begin));
+  p.send_raw(good.take());
+  EXPECT_TRUE(p.frames.empty());  // parsing never resumes after poisoning
+  EXPECT_TRUE(p.server->errored());
+}
+
+// Duplicate capture_enabled is well-formed framing but an illegal protocol
+// step; it is dvemig-verify's state machine that catches it on live channels.
+TEST(MalformedFrame, DuplicateCaptureEnabledTripsProtocolChecker) {
+  ChannelPair p;
+  check::VerifierConfig vcfg;
+  vcfg.abort_on_violation = false;
+  check::Verifier verify{p.engine, vcfg};
+
+  p.client->set_on_frame([](MsgType, BinaryReader&) {});
+  p.server->set_on_frame([](MsgType, BinaryReader&) {});
+  p.client->send(MsgType::mig_begin, Buffer{});
+  p.client->send(MsgType::capture_request, Buffer{});
+  p.engine.run();
+  p.server->send(MsgType::capture_enabled, Buffer{});
+  p.engine.run();
+  EXPECT_TRUE(verify.clean());
+
+  p.server->send(MsgType::capture_enabled, Buffer{});  // duplicate
+  p.engine.run();
+  EXPECT_FALSE(verify.clean());
+  ASSERT_FALSE(verify.violations().empty());
+  EXPECT_EQ(verify.violations().front().rule, "protocol.capture-enabled-unrequested");
+}
+
+// The migd layer's reaction to a poisoned inbound stream: answer mig_abort so
+// the source fails fast instead of hanging on a dead destination.
+TEST(MalformedFrame, MigdAnswersGarbageWithMigAbort) {
+  dve::TestbedConfig cfg;
+  cfg.dve_nodes = 2;
+  cfg.with_db = false;
+  cfg.start_conductors = false;
+  dve::Testbed bed{cfg};
+
+  auto raw = bed.node(1).node.stack().make_tcp();
+  raw->bind(bed.node(1).node.local_addr(), 0);
+  raw->connect(net::Endpoint{bed.node(0).node.local_addr(), kMigdPort});
+  bed.run_for(SimTime::milliseconds(50));
+  ASSERT_EQ(raw->state(), stack::TcpState::established);
+
+  BinaryWriter w;
+  w.u32(1);
+  w.u8(0xEE);  // unknown type: dest migd's channel poisons itself
+  raw->send(w.take());
+  bed.run_for(SimTime::milliseconds(100));
+
+  Buffer reply = raw->read();
+  ASSERT_GE(reply.size(), 5u);
+  BinaryReader r(reply);
+  EXPECT_EQ(r.u32(), 1u);
+  EXPECT_EQ(r.u8(), static_cast<std::uint8_t>(MsgType::mig_abort));
 }
 
 // ---------------------------------------------------------- netfilter edges

@@ -3,6 +3,7 @@
 // control, teardown, and the lookup tables.
 #include <gtest/gtest.h>
 
+#include "src/check/verifier.hpp"
 #include "src/stack/net_stack.hpp"
 #include "src/net/switch.hpp"
 #include "src/stack/tcp_socket.hpp"
@@ -13,17 +14,33 @@ namespace {
 const net::Ipv4Addr kAddrA = net::Ipv4Addr::octets(10, 0, 0, 1);
 const net::Ipv4Addr kAddrB = net::Ipv4Addr::octets(10, 0, 0, 2);
 
+check::VerifierConfig audit_cfg() {
+  check::VerifierConfig cfg;
+  cfg.abort_on_violation = false;  // report through gtest, not abort()
+  return cfg;
+}
+
 struct TwoHosts {
   sim::Engine engine;
   net::Switch sw{engine, net::LinkConfig{1e9, SimTime::microseconds(25)}};
   NetStack a{engine, "hostA", SimTime::seconds(100)};
   NetStack b{engine, "hostB", SimTime::seconds(300)};
+  // dvemig-verify audits both stacks after every event of every test.
+  check::Verifier verify{engine, audit_cfg()};
 
   TwoHosts() {
     a.add_interface(kAddrA,
                     sw.attach(kAddrA, [this](net::Packet p) { a.rx(std::move(p)); }));
     b.add_interface(kAddrB,
                     sw.attach(kAddrB, [this](net::Packet p) { b.rx(std::move(p)); }));
+    verify.watch_stack(a);
+    verify.watch_stack(b);
+  }
+
+  ~TwoHosts() {
+    EXPECT_TRUE(verify.clean())
+        << verify.violations().front().rule << ": "
+        << verify.violations().front().detail;
   }
 
   /// Standard client(a) -> server(b) established pair on port 9000.

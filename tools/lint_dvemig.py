@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules clang-tidy cannot express.
+
+Rules
+-----
+naked-abort
+    ``std::abort``/C ``abort()``/C ``assert()`` are forbidden outside
+    ``src/common/assert.hpp``: contract failures must go through the DVEMIG_*
+    macros so they print a diagnostic and stay enabled in every build type.
+    (``sock->abort()``/``sock.abort()`` — the TCP RST path — and
+    ``static_assert`` are not matches.)
+
+reader-unchecked-length
+    A length read off the wire (``BinaryReader::u32()``/``u64()``) must not be
+    fed to an allocation (``reserve``/``resize``/``Buffer(n)``) without a
+    bounds check between the read and the use. BinaryReader's own accessors
+    bounds-check every *read*, but an attacker-controlled length used as an
+    allocation size bypasses that. A check is any later mention of the variable
+    in a DVEMIG_EXPECTS/DVEMIG_ASSERT, a comparison against a cap constant
+    (``kMax*``), or ``std::min``.
+
+hash-pairing
+    Any module (``src/<dir>``) that inserts into the kernel-mirroring socket
+    hashtables must also contain the matching remove (``ehash_insert``/
+    ``ehash_remove``, ``bhash_insert``/``bhash_remove``). Section V-C's
+    unhash/rehash discipline is a pairing discipline: an insert-only module is
+    how dangling table entries are born. The rule is per module, not per file —
+    e.g. socket restore inserts in socket_image.cpp while the matching unhash
+    lives in migd.cpp, both in src/mig. The tables' own implementation and
+    tests (which corrupt tables on purpose) are exempt.
+
+Exit status is nonzero if any violation is found. Usage:
+    tools/lint_dvemig.py [--root REPO_ROOT] [file ...]
+With no files, lints every .cpp/.hpp under src/.
+"""
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+ABORT_ALLOWED = {"src/common/assert.hpp"}
+PAIRING_EXEMPT_MODULES = {"src/stack"}  # the tables' own implementation
+
+# `abort(`/`assert(` not preceded by an identifier char, `.`, `->`, `::`, or
+# `_`. (`::` excludes member definitions like `TcpSocket::abort()`; bare
+# `std::abort` still matches because the regex anchors on the `s` of `std`.)
+RE_NAKED_ABORT = re.compile(r"(?<![\w.>:])(?:std::\s*)?abort\s*\(")
+RE_NAKED_ASSERT = re.compile(r"(?<![\w.>:])assert\s*\(")
+# Declarations such as `void abort();` are the RST-path member, not a call.
+RE_ABORT_DECL = re.compile(r"\bvoid\s+(?:\w+::)*abort\s*\(")
+RE_LINE_COMMENT = re.compile(r"//.*$")
+RE_STRING = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+RE_LEN_READ = re.compile(
+    r"(?:auto|const auto|std::uint32_t|std::uint64_t|const std::uint32_t|"
+    r"const std::uint64_t|uint32_t|uint64_t)\s+(\w+)\s*=\s*\w+(?:\.|->)u(?:32|64)\(\)"
+)
+RE_PAIRS = [("ehash_insert", "ehash_remove"), ("bhash_insert", "bhash_remove")]
+
+# How far (in lines) an allocation may sit from the length read it consumes.
+SCAN_WINDOW = 40
+
+
+def strip_noise(line: str) -> str:
+    """Remove string literals and line comments so they can't fake matches."""
+    return RE_LINE_COMMENT.sub("", RE_STRING.sub('""', line))
+
+
+def module_of(rel: str) -> str:
+    """src/mig/migd.cpp -> src/mig; anything else -> its parent directory."""
+    parts = rel.split("/")
+    return "/".join(parts[:2]) if len(parts) > 2 else parts[0]
+
+
+def lint_file(
+    path: pathlib.Path,
+    rel: str,
+    problems: list[str],
+    hash_calls: dict[str, dict[str, str]],
+) -> None:
+    try:
+        raw_lines = path.read_text().splitlines()
+    except (OSError, UnicodeDecodeError) as exc:
+        problems.append(f"{rel}:0: [io] cannot read file: {exc}")
+        return
+    lines = [strip_noise(l) for l in raw_lines]
+    text = "\n".join(lines)
+
+    # --- naked-abort ---
+    if rel not in ABORT_ALLOWED:
+        for i, line in enumerate(lines, 1):
+            if RE_NAKED_ABORT.search(line) and not RE_ABORT_DECL.search(line):
+                problems.append(
+                    f"{rel}:{i}: [naked-abort] raw abort() — use the DVEMIG_* "
+                    "contract macros from src/common/assert.hpp"
+                )
+            if RE_NAKED_ASSERT.search(line):
+                problems.append(
+                    f"{rel}:{i}: [naked-abort] C assert() — use DVEMIG_ASSERT "
+                    "(stays enabled in release builds)"
+                )
+
+    # --- reader-unchecked-length ---
+    for i, line in enumerate(lines, 1):
+        m = RE_LEN_READ.search(line)
+        if not m:
+            continue
+        var = m.group(1)
+        window = lines[i : i + SCAN_WINDOW]
+        alloc = re.compile(
+            r"(?:reserve|resize)\s*\(\s*" + re.escape(var) + r"\b"
+            r"|Buffer\s+\w+\s*\(\s*" + re.escape(var) + r"\b"
+        )
+        guard = re.compile(
+            r"(?:DVEMIG_EXPECTS|DVEMIG_ASSERT|DVEMIG_ENSURES|std::min|kMax\w*)"
+            r"[^;]*\b" + re.escape(var) + r"\b"
+            r"|\b" + re.escape(var) + r"\b\s*(?:<=?|>=?)\s*"
+        )
+        guarded = bool(guard.search(line))
+        for w in window:
+            if guard.search(w):
+                guarded = True
+            if alloc.search(w):
+                if not guarded:
+                    problems.append(
+                        f"{rel}:{i}: [reader-unchecked-length] wire length "
+                        f"'{var}' used as an allocation size without a bounds "
+                        "check (DVEMIG_EXPECTS / cap comparison) first"
+                    )
+                break
+
+    # --- hash-pairing (collected per file, judged per module in main) ---
+    if not rel.startswith("tests/"):
+        for ins, rem in RE_PAIRS:
+            for name in (ins, rem):
+                if re.search(rf"\b{name}\s*\(", text):
+                    hash_calls.setdefault(module_of(rel), {}).setdefault(
+                        name, rel
+                    )
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("files", nargs="*", help="files to lint (default: src/**)")
+    args = ap.parse_args()
+
+    root = pathlib.Path(args.root).resolve()
+    if args.files:
+        targets = [pathlib.Path(f).resolve() for f in args.files]
+    else:
+        targets = sorted(
+            p
+            for ext in ("*.cpp", "*.hpp")
+            for p in (root / "src").rglob(ext)
+        )
+
+    problems: list[str] = []
+    hash_calls: dict[str, dict[str, str]] = {}
+    count = 0
+    for path in targets:
+        if path.suffix not in {".cpp", ".hpp"}:
+            continue
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        count += 1
+        lint_file(path, rel, problems, hash_calls)
+
+    # hash-pairing is a module-level judgment: an insert anywhere in a module
+    # must have the matching remove reachable somewhere in the same module.
+    for module, calls in sorted(hash_calls.items()):
+        if module in PAIRING_EXEMPT_MODULES:
+            continue
+        for ins, rem in RE_PAIRS:
+            if ins in calls and rem not in calls:
+                problems.append(
+                    f"{calls[ins]}:0: [hash-pairing] module {module} calls "
+                    f"{ins}() but never {rem}() — Section V-C's unhash/rehash "
+                    "discipline requires the pair to be reachable from the "
+                    "same module"
+                )
+
+    for p in problems:
+        print(p)
+    print(
+        f"lint_dvemig: {count} files, "
+        f"{len(problems)} problem{'s' if len(problems) != 1 else ''}",
+        file=sys.stderr,
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
