@@ -12,13 +12,18 @@
 //   dst-cache replacement       — the DB session's responses are steered to the
 //                                 old node: session stalls.
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "src/common/cli.hpp"
 #include "src/dve/client.hpp"
 #include "src/dve/population.hpp"
 #include "src/dve/testbed.hpp"
 #include "src/dve/zone_server.hpp"
+#include "src/obs/bench_report.hpp"
+#include "src/obs/runtime.hpp"
 
 using namespace dvemig;
 
@@ -96,7 +101,10 @@ void print_row(const char* name, const RunResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::apply_common_flags(parse_common_flags(argc, argv));
+  // "smoke" skips the heap sweep — the CI smoke job runs only the four rows.
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "smoke") == 0;
   constexpr std::uint64_t kHeap = 12ull << 20;
 
   std::printf("# Ablations — zone server, 8 active clients + MySQL session, "
@@ -106,20 +114,45 @@ int main() {
   std::printf("%-28s %14s %16s %16s %12s\n", "configuration", "downtime_ms",
               "updates_in_3s", "db_resp_in_3s", "captured");
 
-  print_row("full mechanism", run_case(true, true, true, kHeap));
-  print_row("no precopy (stop-and-copy)", run_case(false, true, true, kHeap));
-  print_row("no timestamp adjustment", run_case(true, false, true, kHeap));
-  print_row("no dst-cache replacement", run_case(true, true, false, kHeap));
+  obs::BenchReport report("ablations");
+  auto record = [&report](const char* key, const RunResult& r) {
+    const std::string k = key;
+    report.result(k + "_downtime_ms", r.stats.freeze_time().to_ms());
+    report.result(k + "_updates_in_3s", static_cast<double>(r.updates_after));
+    report.result(k + "_db_resp_in_3s", static_cast<double>(r.db_after));
+    report.result(k + "_captured", static_cast<double>(r.stats.captured));
+  };
 
-  std::printf("\n# stop-and-copy downtime scales with the address space "
-              "(live migration's does not):\n");
-  std::printf("%-12s %18s %18s\n", "heap_MiB", "live_downtime_ms",
-              "stopcopy_downtime_ms");
-  for (const std::uint64_t mib : {4ull, 12ull, 32ull, 64ull}) {
-    const RunResult live = run_case(true, true, true, mib << 20);
-    const RunResult cold = run_case(false, true, true, mib << 20);
-    std::printf("%-12llu %18.2f %18.2f\n", static_cast<unsigned long long>(mib),
-                live.stats.freeze_time().to_ms(), cold.stats.freeze_time().to_ms());
+  const RunResult full = run_case(true, true, true, kHeap);
+  print_row("full mechanism", full);
+  record("full", full);
+  const RunResult stopcopy = run_case(false, true, true, kHeap);
+  print_row("no precopy (stop-and-copy)", stopcopy);
+  record("no_precopy", stopcopy);
+  const RunResult no_ts = run_case(true, false, true, kHeap);
+  print_row("no timestamp adjustment", no_ts);
+  record("no_ts_adjust", no_ts);
+  const RunResult no_cache = run_case(true, true, false, kHeap);
+  print_row("no dst-cache replacement", no_cache);
+  record("no_dst_cache", no_cache);
+
+  if (!smoke) {
+    std::printf("\n# stop-and-copy downtime scales with the address space "
+                "(live migration's does not):\n");
+    std::printf("%-12s %18s %18s\n", "heap_MiB", "live_downtime_ms",
+                "stopcopy_downtime_ms");
+    for (const std::uint64_t mib : {4ull, 12ull, 32ull, 64ull}) {
+      const RunResult live = run_case(true, true, true, mib << 20);
+      const RunResult cold = run_case(false, true, true, mib << 20);
+      std::printf("%-12llu %18.2f %18.2f\n", static_cast<unsigned long long>(mib),
+                  live.stats.freeze_time().to_ms(), cold.stats.freeze_time().to_ms());
+      const std::string suffix = "_heap" + std::to_string(mib) + "MiB";
+      report.result("live_downtime_ms" + suffix, live.stats.freeze_time().to_ms());
+      report.result("stopcopy_downtime_ms" + suffix,
+                    cold.stats.freeze_time().to_ms());
+    }
   }
+  report.add_standard_metrics();
+  report.write();
   return 0;
 }

@@ -12,13 +12,17 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/cli.hpp"
 #include "src/dve/client.hpp"
 #include "src/dve/game_server.hpp"
 #include "src/dve/testbed.hpp"
+#include "src/obs/bench_report.hpp"
+#include "src/obs/runtime.hpp"
 
 using namespace dvemig;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::apply_common_flags(parse_common_flags(argc, argv));
   dve::TestbedConfig cfg;
   cfg.dve_nodes = 2;
   dve::Testbed bed(cfg);
@@ -98,5 +102,16 @@ int main() {
               static_cast<unsigned long long>(stats.captured),
               static_cast<unsigned long long>(stats.reinjected));
   std::printf("# snapshots lost                 : %zu (must be 0)\n", missing);
+
+  obs::BenchReport report("fig4_packet_delay");
+  report.add_standard_metrics();
+  report.result("downtime_ms", stats.freeze_time().to_ms());
+  report.result("max_gap_ms", max_gap_ms);
+  report.result("delay_vs_cadence_ms", std::max(0.0, max_gap_ms - cadence_ms));
+  report.result("captured", static_cast<double>(stats.captured));
+  report.result("reinjected", static_cast<double>(stats.reinjected));
+  report.result("snapshots_lost", static_cast<double>(missing));
+  report.note("strategy", mig::strategy_name(stats.strategy));
+  report.write();
   return missing == 0 ? 0 : 1;
 }

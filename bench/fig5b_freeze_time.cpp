@@ -4,15 +4,26 @@
 // Paper reference points (5-node Opteron cluster, GbE): iterative grows steeply
 // and roughly linearly with the transferred bytes; collective flattens it;
 // incremental collective keeps >1000 connections under 40 ms.
+//
+// Usage: fig5b_freeze_time [reps] [max_connections]
+// (max_connections truncates the sweep — the CI smoke run uses 64.)
+#include <cstdint>
 #include <cstdio>
+#include <string>
 
 #include "freeze_sweep.hpp"
+#include "src/common/cli.hpp"
+#include "src/obs/bench_report.hpp"
+#include "src/obs/runtime.hpp"
 
 using namespace dvemig;
 using namespace dvemig::bench;
 
 int main(int argc, char** argv) {
+  obs::apply_common_flags(parse_common_flags(argc, argv));
   const int reps = argc > 1 ? std::atoi(argv[1]) : 2;
+  const std::size_t max_n =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : SIZE_MAX;
 
   std::printf("# Figure 5b — worst-case process freeze time (ms) vs TCP connections\n");
   std::printf("# each process also maintains one MySQL session; %d repetition(s), "
@@ -21,7 +32,10 @@ int main(int argc, char** argv) {
   std::printf("%-12s %14s %14s %24s\n", "connections", "iterative", "collective",
               "incremental-collective");
 
+  obs::BenchReport report("fig5b_freeze_time");
+  report.result("reps", reps);
   for (const std::size_t n : sweep_connection_counts()) {
+    if (n > max_n) continue;
     const SweepPoint it =
         run_sweep_point(n, mig::SocketMigStrategy::iterative, reps);
     const SweepPoint co =
@@ -31,7 +45,13 @@ int main(int argc, char** argv) {
     std::printf("%-12zu %14.2f %14.2f %24.2f\n", n, it.worst_freeze_ms,
                 co.worst_freeze_ms, inc.worst_freeze_ms);
     std::fflush(stdout);
+    const std::string suffix = "_n" + std::to_string(n);
+    report.result("freeze_ms_iterative" + suffix, it.worst_freeze_ms);
+    report.result("freeze_ms_collective" + suffix, co.worst_freeze_ms);
+    report.result("freeze_ms_incremental" + suffix, inc.worst_freeze_ms);
   }
+  report.add_standard_metrics();
+  report.write();
 
   std::printf("#\n# paper: incremental collective stays below 40 ms even beyond "
               "1000 connections\n");

@@ -5,9 +5,17 @@
 // kernel state (~3.5 MB at 1024 connections — iterative == collective by
 // construction); incremental collective ships only the changes, roughly an
 // order of magnitude less.
+//
+// Usage: fig5c_freeze_bytes [reps] [max_connections]
+// (max_connections truncates the sweep — the CI smoke run uses 64.)
+#include <cstdint>
 #include <cstdio>
+#include <string>
 
 #include "freeze_sweep.hpp"
+#include "src/common/cli.hpp"
+#include "src/obs/bench_report.hpp"
+#include "src/obs/runtime.hpp"
 
 using namespace dvemig;
 using namespace dvemig::bench;
@@ -25,14 +33,20 @@ std::string human(std::uint64_t bytes) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::apply_common_flags(parse_common_flags(argc, argv));
   const int reps = argc > 1 ? std::atoi(argv[1]) : 2;
+  const std::size_t max_n =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : SIZE_MAX;
 
   std::printf("# Figure 5c — socket bytes transferred during the freeze phase\n");
   std::printf("# (iterative/collective = full dumps; incremental = deltas only)\n");
   std::printf("%-12s %14s %14s %24s %12s\n", "connections", "iterative",
               "collective", "incremental-collective", "incr/full");
 
+  obs::BenchReport report("fig5c_freeze_bytes");
+  report.result("reps", reps);
   for (const std::size_t n : sweep_connection_counts()) {
+    if (n > max_n) continue;
     const SweepPoint it =
         run_sweep_point(n, mig::SocketMigStrategy::iterative, reps);
     const SweepPoint co =
@@ -47,7 +61,17 @@ int main(int argc, char** argv) {
                 human(co.worst_freeze_socket_bytes).c_str(),
                 human(inc.worst_freeze_socket_bytes).c_str(), 100.0 * ratio);
     std::fflush(stdout);
+    const std::string suffix = "_n" + std::to_string(n);
+    report.result("socket_bytes_iterative" + suffix,
+                  static_cast<double>(it.worst_freeze_socket_bytes));
+    report.result("socket_bytes_collective" + suffix,
+                  static_cast<double>(co.worst_freeze_socket_bytes));
+    report.result("socket_bytes_incremental" + suffix,
+                  static_cast<double>(inc.worst_freeze_socket_bytes));
+    report.result("incr_over_full_ratio" + suffix, ratio);
   }
+  report.add_standard_metrics();
+  report.write();
 
   std::printf("#\n# paper: ~3.5MB at 1024 connections for iterative/collective; "
               "incremental is ~an order of magnitude smaller\n");

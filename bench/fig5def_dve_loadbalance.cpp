@@ -13,14 +13,18 @@
 // the up-left and down-right corners over ~15 minutes.
 //
 //   fig5def_dve_loadbalance [clients] [duration_s]
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
+#include "src/common/cli.hpp"
 #include "src/dve/population.hpp"
 #include "src/dve/testbed.hpp"
 #include "src/dve/zone_server.hpp"
+#include "src/obs/bench_report.hpp"
+#include "src/obs/runtime.hpp"
 
 using namespace dvemig;
 
@@ -142,6 +146,7 @@ void print_fig5a() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::apply_common_flags(parse_common_flags(argc, argv));
   const std::uint32_t clients =
       argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 10000;
   const std::int64_t duration = argc > 2 ? std::atoi(argv[2]) : 900;
@@ -169,5 +174,23 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(on.handoffs));
   std::printf("# paper: without LB node1/node5 exceed 95%% CPU while node3/node4 "
               "fall below ~65%%; with LB the spread stays much tighter\n");
+
+  // CPU spread at the final sample: the figure's "tightness" as one scalar.
+  auto final_spread = [](const SimResult& r) {
+    if (r.samples.empty()) return 0.0;
+    const auto& cpu = r.samples.back().cpu;
+    const auto [lo, hi] = std::minmax_element(cpu.begin(), cpu.end());
+    return *hi - *lo;
+  };
+  obs::BenchReport report("fig5def_dve_loadbalance");
+  report.add_standard_metrics();
+  report.result("clients", clients);
+  report.result("duration_s", static_cast<double>(duration));
+  report.result("migrations", static_cast<double>(on.migrations));
+  report.result("worst_freeze_ms", on.worst_freeze_ms);
+  report.result("zone_handoffs", static_cast<double>(on.handoffs));
+  report.result("cpu_spread_final_lb_off_pct", final_spread(off));
+  report.result("cpu_spread_final_lb_on_pct", final_spread(on));
+  report.write();
   return 0;
 }

@@ -6,17 +6,20 @@
 // one by one; the node ends up empty and can be powered off, while every
 // client connection and DB session keeps running elsewhere.
 //
-//   ./build/examples/db_failover
+//   ./build/examples/db_failover [--log-level=debug] [--trace-out=trace.json]
 #include <cstdio>
 #include <vector>
 
+#include "src/common/cli.hpp"
 #include "src/dve/population.hpp"
 #include "src/dve/testbed.hpp"
 #include "src/dve/zone_server.hpp"
+#include "src/obs/runtime.hpp"
 
 using namespace dvemig;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::apply_common_flags(parse_common_flags(argc, argv));
   dve::TestbedConfig cfg;
   cfg.dve_nodes = 3;
   dve::Testbed bed(cfg);

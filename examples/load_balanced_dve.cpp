@@ -5,16 +5,19 @@
 // and live-migrate zone servers until node loads converge. Prints a per-node
 // CPU/process-count timeline and each migration decision as it happens.
 //
-//   ./build/examples/load_balanced_dve
+//   ./build/examples/load_balanced_dve [--log-level=debug] [--trace-out=trace.json]
 #include <cstdio>
 
+#include "src/common/cli.hpp"
 #include "src/dve/population.hpp"
 #include "src/dve/testbed.hpp"
 #include "src/dve/zone_server.hpp"
+#include "src/obs/runtime.hpp"
 
 using namespace dvemig;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::apply_common_flags(parse_common_flags(argc, argv));
   dve::TestbedConfig cfg;
   cfg.dve_nodes = 3;
   cfg.policy.calm_down = SimTime::seconds(5);

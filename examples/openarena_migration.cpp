@@ -5,18 +5,21 @@
 // per second. The example prints the migration timeline and verifies that no
 // snapshot was lost and every client kept playing.
 //
-//   ./build/examples/openarena_migration
+//   ./build/examples/openarena_migration [--log-level=debug] [--trace-out=trace.json]
 #include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "src/common/cli.hpp"
 #include "src/dve/client.hpp"
 #include "src/dve/game_server.hpp"
 #include "src/dve/testbed.hpp"
+#include "src/obs/runtime.hpp"
 
 using namespace dvemig;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::apply_common_flags(parse_common_flags(argc, argv));
   dve::TestbedConfig cfg;
   cfg.dve_nodes = 2;
   dve::Testbed bed(cfg);

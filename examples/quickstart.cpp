@@ -5,16 +5,19 @@
 // traffic flows. The client connections, the MySQL session and the update stream
 // all survive; the process freeze time is printed.
 //
-//   ./build/examples/quickstart
+//   ./build/examples/quickstart [--log-level=debug] [--trace-out=trace.json]
 #include <cstdio>
 
+#include "src/common/cli.hpp"
 #include "src/dve/population.hpp"
 #include "src/dve/testbed.hpp"
 #include "src/dve/zone_server.hpp"
+#include "src/obs/runtime.hpp"
 
 using namespace dvemig;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::apply_common_flags(parse_common_flags(argc, argv));
   dve::TestbedConfig cfg;
   cfg.dve_nodes = 2;
   dve::Testbed bed(cfg);

@@ -1,0 +1,70 @@
+#include "src/common/cli.hpp"
+
+#include <cstring>
+
+namespace dvemig {
+
+bool parse_log_level(const std::string& name, LogLevel& out) {
+  if (name == "trace") out = LogLevel::trace;
+  else if (name == "debug") out = LogLevel::debug;
+  else if (name == "info") out = LogLevel::info;
+  else if (name == "warn") out = LogLevel::warn;
+  else if (name == "error") out = LogLevel::error;
+  else if (name == "off") out = LogLevel::off;
+  else return false;
+  return true;
+}
+
+namespace {
+
+/// Match `--name=value` or `--name value`; on a hit, `value` is filled and
+/// `consumed` is 1 or 2 argv slots.
+bool match_flag(char** argv, int argc, int i, const char* name,
+                std::string& value, int& consumed) {
+  const char* arg = argv[i];
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '=') {
+    value = arg + len + 1;
+    consumed = 1;
+    return true;
+  }
+  if (arg[len] == '\0' && i + 1 < argc) {
+    value = argv[i + 1];
+    consumed = 2;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CommonFlags parse_common_flags(int& argc, char** argv) {
+  CommonFlags flags;
+  int out = 1;
+  for (int i = 1; i < argc;) {
+    std::string value;
+    int consumed = 0;
+    if (match_flag(argv, argc, i, "--log-level", value, consumed)) {
+      if (!parse_log_level(value, flags.log_level)) {
+        DVEMIG_WARN("cli", "unknown --log-level '%s' (want trace|debug|info|"
+                    "warn|error|off); keeping default", value.c_str());
+      }
+      i += consumed;
+    } else if (match_flag(argv, argc, i, "--trace-out", value, consumed)) {
+      flags.trace_out = value;
+      i += consumed;
+    } else if (match_flag(argv, argc, i, "--metrics-out", value, consumed)) {
+      flags.metrics_out = value;
+      i += consumed;
+    } else {
+      argv[out++] = argv[i++];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  Log::level() = flags.log_level;
+  return flags;
+}
+
+}  // namespace dvemig

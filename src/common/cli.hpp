@@ -1,0 +1,33 @@
+// Shared command-line flags for the example and bench binaries.
+//
+// Every binary that calls parse_common_flags understands:
+//   --log-level=<trace|debug|info|warn|error|off>   (also "--log-level warn")
+//   --trace-out=<file>     Chrome trace_event JSON written at exit
+//   --metrics-out=<file>   metrics-registry JSON written at exit
+//
+// Recognised flags are stripped from argv so positional arguments keep their
+// meaning. The log level is applied immediately; the export paths are returned
+// for obs::apply_common_flags (src/common cannot depend on src/obs).
+#pragma once
+
+#include <string>
+
+#include "src/common/log.hpp"
+
+namespace dvemig {
+
+struct CommonFlags {
+  LogLevel log_level{LogLevel::warn};
+  std::string trace_out;
+  std::string metrics_out;
+};
+
+/// Parse `name` ("debug", "warn", ...) into a level; false if unknown.
+bool parse_log_level(const std::string& name, LogLevel& out);
+
+/// Strip the shared flags from argv (compacting it in place, argc updated),
+/// apply the log level, and return what was parsed. Unknown arguments are
+/// left untouched. A malformed value warns and keeps the default.
+CommonFlags parse_common_flags(int& argc, char** argv);
+
+}  // namespace dvemig

@@ -1,8 +1,11 @@
 #include "src/common/log.hpp"
 
+#include "src/common/sim_clock.hpp"
+
 namespace dvemig {
 
 namespace {
+
 const char* level_name(LogLevel lvl) {
   switch (lvl) {
     case LogLevel::trace: return "TRACE";
@@ -14,15 +17,44 @@ const char* level_name(LogLevel lvl) {
   }
   return "?";
 }
+
+Log::SinkFn& sink_slot() {
+  static Log::SinkFn sink;
+  return sink;
+}
+
 }  // namespace
 
+void Log::set_sink(SinkFn sink) { sink_slot() = std::move(sink); }
+
 void Log::write(LogLevel lvl, const char* tag, const char* fmt, ...) {
-  std::fprintf(stderr, "[%s] %s: ", level_name(lvl), tag);
+  char msg[1024];
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  std::vsnprintf(msg, sizeof msg, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+
+  // `LEVEL|sim_time|tag|message` — sim time in seconds, `-` without an engine.
+  char time_buf[32];
+  if (SimClock::available()) {
+    std::snprintf(time_buf, sizeof time_buf, "%.6f",
+                  static_cast<double>(SimClock::now_ns()) / 1e9);
+  } else {
+    std::snprintf(time_buf, sizeof time_buf, "-");
+  }
+
+  if (sink_slot()) {
+    std::string line = level_name(lvl);
+    line += '|';
+    line += time_buf;
+    line += '|';
+    line += tag;
+    line += '|';
+    line += msg;
+    sink_slot()(line);
+    return;
+  }
+  std::fprintf(stderr, "%s|%s|%s|%s\n", level_name(lvl), time_buf, tag, msg);
 }
 
 }  // namespace dvemig

@@ -3,10 +3,17 @@
 // The simulator is single-threaded (one discrete-event loop), so the logger needs no
 // synchronisation. Levels are filtered at runtime; the default is `warn` so tests and
 // benchmarks stay quiet unless asked.
+//
+// Lines are machine-parsable: `LEVEL|sim_time|tag|message`, where sim_time is
+// the current simulated time in seconds (six decimals) from the engine's
+// thread-local clock (src/common/sim_clock.hpp), or `-` when no engine is
+// alive. Tests can intercept lines with set_sink().
 #pragma once
 
 #include <cstdarg>
 #include <cstdio>
+#include <functional>
+#include <string>
 
 namespace dvemig {
 
@@ -14,12 +21,18 @@ enum class LogLevel : int { trace = 0, debug = 1, info = 2, warn = 3, error = 4,
 
 class Log {
  public:
+  using SinkFn = std::function<void(const std::string& line)>;
+
   static LogLevel& level() {
     static LogLevel lvl = LogLevel::warn;
     return lvl;
   }
 
   static bool enabled(LogLevel lvl) { return lvl >= level(); }
+
+  /// Redirect formatted lines (without trailing newline) away from stderr.
+  /// Pass nullptr to restore stderr. Single-threaded, like everything else.
+  static void set_sink(SinkFn sink);
 
   static void write(LogLevel lvl, const char* tag, const char* fmt, ...)
       __attribute__((format(printf, 3, 4)));

@@ -1,0 +1,28 @@
+#include "src/common/sim_clock.hpp"
+
+namespace dvemig {
+
+namespace {
+thread_local SimClock::NowFn g_now_fn = nullptr;
+thread_local const void* g_now_ctx = nullptr;
+}  // namespace
+
+void SimClock::publish(NowFn fn, const void* ctx) {
+  g_now_fn = fn;
+  g_now_ctx = ctx;
+}
+
+void SimClock::retract(const void* ctx) {
+  if (g_now_ctx == ctx) {
+    g_now_fn = nullptr;
+    g_now_ctx = nullptr;
+  }
+}
+
+bool SimClock::available() { return g_now_fn != nullptr; }
+
+std::int64_t SimClock::now_ns() {
+  return g_now_fn != nullptr ? g_now_fn(g_now_ctx) : 0;
+}
+
+}  // namespace dvemig

@@ -1,0 +1,32 @@
+// Thread-local bridge from wall-clock-free code to the simulated clock.
+//
+// The discrete-event engine (src/sim) publishes a "now" provider when it is
+// constructed; anything below the sim layer — the logger's time prefix, the
+// span tracer — reads the current simulated time through this indirection
+// without depending on the engine. When no engine is alive (unit tests of the
+// common layer, tool startup) the clock is simply unavailable.
+#pragma once
+
+#include <cstdint>
+
+namespace dvemig {
+
+class SimClock {
+ public:
+  using NowFn = std::int64_t (*)(const void* ctx);
+
+  /// Install `fn(ctx)` as the current provider. The latest publisher wins
+  /// (tests that construct engines back to back each take over the clock).
+  static void publish(NowFn fn, const void* ctx);
+
+  /// Remove the provider, but only if `ctx` is still the current publisher —
+  /// a dying engine must not retract a newer engine's clock.
+  static void retract(const void* ctx);
+
+  static bool available();
+
+  /// Current simulated time in nanoseconds; 0 when unavailable.
+  static std::int64_t now_ns();
+};
+
+}  // namespace dvemig

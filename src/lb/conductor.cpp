@@ -1,8 +1,35 @@
 #include "src/lb/conductor.hpp"
 
 #include "src/common/log.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace dvemig::lb {
+
+namespace {
+
+struct LbMetrics {
+  obs::Counter& initiated;
+  obs::Counter& accepted;
+  obs::Counter& rejected;
+  obs::Counter& solicits;
+  obs::Counter& heartbeats;
+  obs::Gauge& cluster_avg;
+
+  static LbMetrics& get() {
+    auto& reg = obs::Registry::instance();
+    static LbMetrics m{
+        reg.counter("lb.migrations_initiated"),
+        reg.counter("lb.offers_accepted"),
+        reg.counter("lb.offers_rejected"),
+        reg.counter("lb.solicits_sent"),
+        reg.counter("lb.heartbeats_sent"),
+        reg.gauge("lb.cluster_avg_utilization"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 Conductor::Conductor(proc::Node& node, mig::Migd& migd, PolicyConfig cfg)
     : node_(&node), migd_(&migd), monitor_(node), cfg_(cfg) {}
@@ -40,6 +67,7 @@ void Conductor::heartbeat() {
   w.u8(static_cast<std::uint8_t>(MsgType::load_info));
   info.serialize(w);
   sock_->send_to(net::Endpoint{net::Ipv4Addr::broadcast(), kCondPort}, w.take());
+  LbMetrics::get().heartbeats.add(1);
 
   evaluate();
   heartbeat_timer_ = engine().schedule_after(cfg_.heartbeat, [this] { heartbeat(); });
@@ -105,6 +133,7 @@ void Conductor::evaluate() {
 
   const double local = monitor_.node_utilization();
   const double avg = cluster_average();
+  LbMetrics::get().cluster_avg.set(avg);
 
   // Sender-initiated side (the paper's algorithm).
   if (cfg_.initiation != Initiation::receiver &&
@@ -119,6 +148,7 @@ void Conductor::evaluate() {
       !receiving_busy_ && should_solicit(local, avg, cfg_)) {
     if (const auto target = choose_solicit_target(avg, fresh_peers())) {
       solicits_sent_ += 1;
+      LbMetrics::get().solicits.add(1);
       send_ctrl(*target, MsgType::mig_solicit, 0);
     }
   }
@@ -189,6 +219,7 @@ void Conductor::handle_accept(std::uint64_t offer_id) {
   }
 
   initiated_ += 1;
+  LbMetrics::get().initiated.add(1);
   const bool started = migd_->migrate(
       offer.pid, offer.dest, strategy_, [this, offer](const mig::MigrationStats& s) {
         pending_offer_.reset();
@@ -205,6 +236,7 @@ void Conductor::handle_accept(std::uint64_t offer_id) {
 void Conductor::handle_reject(std::uint64_t offer_id) {
   if (!pending_offer_ || pending_offer_->offer_id != offer_id) return;
   rejected_ += 1;
+  LbMetrics::get().rejected.add(1);
   offer_timer_.cancel();
   pending_offer_.reset();
 }
@@ -214,6 +246,7 @@ void Conductor::handle_release() {
   receiving_busy_ = false;
   calm_until_ = engine().now() + cfg_.calm_down;
   accepted_ += 1;
+  LbMetrics::get().accepted.add(1);
 }
 
 void Conductor::send_ctrl(net::Ipv4Addr to, MsgType type, std::uint64_t offer_id,

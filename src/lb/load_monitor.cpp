@@ -1,5 +1,7 @@
 #include "src/lb/load_monitor.hpp"
 
+#include "src/obs/metrics.hpp"
+
 namespace dvemig::lb {
 
 std::vector<ProcessLoad> LoadMonitor::process_loads() const {
@@ -20,6 +22,11 @@ LoadInfo LoadMonitor::snapshot(std::uint32_t node_key) const {
   info.capacity_cores = capacity_cores();
   info.process_count = static_cast<std::uint32_t>(node_->processes().size());
   info.sent_at_ns = node_->engine().now().ns;
+  obs::Registry::instance().counter("lb.load_samples").add(1);
+  obs::Registry::instance()
+      .histogram("lb.node_utilization",
+                 {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.5, 2.0})
+      .record(info.utilization);
   return info;
 }
 

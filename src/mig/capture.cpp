@@ -1,6 +1,31 @@
 #include "src/mig/capture.hpp"
 
+#include "src/obs/metrics.hpp"
+#include "src/sim/engine.hpp"
+
 namespace dvemig::mig {
+
+namespace {
+
+struct CaptureMetrics {
+  obs::Counter& captured;
+  obs::Counter& dedup_hits;
+  obs::Counter& reinjected;
+  obs::Histogram& packet_delay_us;
+
+  static CaptureMetrics& get() {
+    auto& reg = obs::Registry::instance();
+    static CaptureMetrics m{
+        reg.counter("capture.captured"),
+        reg.counter("capture.dedup_hits"),
+        reg.counter("capture.reinjected"),
+        reg.histogram("capture.packet_delay_us", obs::default_latency_bounds_us()),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 std::uint64_t CaptureManager::begin_session() {
   const std::uint64_t id = ++next_session_;
@@ -19,11 +44,18 @@ std::size_t CaptureManager::finish_session(std::uint64_t session) {
   const auto it = sessions_.find(session);
   DVEMIG_EXPECTS(it != sessions_.end());
   std::vector<net::Packet> queue = std::move(it->second.queue);
+  const std::vector<std::int64_t> arrivals = std::move(it->second.arrival_ns);
   sessions_.erase(it);
   update_hook();
   // Reinjection phase (Section V-B): each packet is submitted back to the stack
   // via the okfn() equivalent, in arrival order.
-  for (net::Packet& p : queue) stack_->reinject(std::move(p));
+  auto& m = CaptureMetrics::get();
+  const std::int64_t now_ns = stack_->engine().now().ns;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    m.packet_delay_us.record(static_cast<double>(now_ns - arrivals[i]) / 1e3);
+    stack_->reinject(std::move(queue[i]));
+  }
+  m.reinjected.add(queue.size());
   return queue.size();
 }
 
@@ -54,6 +86,7 @@ void CaptureManager::inject_queued_for_test(std::uint64_t session, net::Packet p
   const auto it = sessions_.find(session);
   DVEMIG_EXPECTS(it != sessions_.end());
   it->second.queue.push_back(std::move(p));
+  it->second.arrival_ns.push_back(stack_->engine().now().ns);
 }
 
 void CaptureManager::update_hook() {
@@ -76,11 +109,14 @@ stack::Verdict CaptureManager::on_local_in(net::Packet& p) {
                                          p.tcp.seq);
         if (!session.seen_tcp.insert(key).second) {
           total_deduplicated_ += 1;
+          CaptureMetrics::get().dedup_hits.add(1);
           return stack::Verdict::stolen;  // duplicate stored only once
         }
       }
       total_captured_ += 1;
+      CaptureMetrics::get().captured.add(1);
       session.queue.push_back(p);
+      session.arrival_ns.push_back(stack_->engine().now().ns);
       return stack::Verdict::stolen;
     }
   }

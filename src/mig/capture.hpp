@@ -55,6 +55,10 @@ class CaptureManager {
   struct Session {
     std::vector<CaptureSpec> specs;
     std::vector<net::Packet> queue;
+    // Arrival sim-time of queue[i]; at reinjection, now - arrival is the real
+    // delay each captured packet suffered (the `capture.packet_delay_us`
+    // histogram — Figure 4's per-packet measurement rather than a bound).
+    std::vector<std::int64_t> arrival_ns;
     // TCP dedup: (remote addr, remote port, local port, seq) seen so far.
     std::set<std::tuple<std::uint32_t, std::uint16_t, std::uint16_t, std::uint32_t>>
         seen_tcp;

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "src/common/log.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/span.hpp"
 
 namespace dvemig::mig {
 
@@ -11,6 +13,36 @@ namespace {
 
 /// Pseudo-pid used to charge kernel-side migration work to the CPU meter.
 constexpr Pid kKernelPid{1};
+
+obs::Tracer& tracer() { return obs::Tracer::instance(); }
+
+/// Per-migration metrics, shared by source and destination roles. References
+/// are stable for the process lifetime (the registry never evicts).
+struct MigMetrics {
+  obs::Counter& freeze_bytes;
+  obs::Counter& precopy_bytes;
+  obs::Counter& completed;
+  obs::Counter& failed;
+  obs::Counter& restores;
+  obs::Histogram& freeze_time_us;
+  obs::Histogram& total_time_us;
+  obs::Histogram& precopy_rounds;
+
+  static MigMetrics& get() {
+    auto& reg = obs::Registry::instance();
+    static MigMetrics m{
+        reg.counter("mig.freeze_bytes"),
+        reg.counter("mig.precopy_bytes"),
+        reg.counter("mig.migrations_completed"),
+        reg.counter("mig.migrations_failed"),
+        reg.counter("mig.restores_completed"),
+        reg.histogram("mig.freeze_time_us", obs::default_latency_bounds_us()),
+        reg.histogram("mig.total_time_us", obs::default_latency_bounds_us()),
+        reg.histogram("mig.precopy_rounds", {1, 2, 4, 8, 16, 32, 64}),
+    };
+    return m;
+  }
+};
 
 /// Disable a socket for migration: unhash from the lookup tables, clear timers,
 /// stop transmission (Section V-C: "unhashing it from both the ehash and bhash
@@ -105,10 +137,23 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
     stats_.src_node = node_->local_addr();
     stats_.dst_node = dest;
     loop_timeout_ns_ = owner_->cm_.initial_loop_timeout_ns;
+    obs_track_ = tracer().track(node_->name() + "/migd.src");
   }
+
+  /// Coarse progress marker, mirrored 1:1 by the span tree: every write below
+  /// sits next to the begin/end of the span that covers the same interval
+  /// (tools/lint_dvemig.py enforces this pairing for new phase writes).
+  enum class Phase : std::uint8_t { idle, connect, precopy, freeze, done };
+
+  Phase phase() const { return phase_; }
 
   void begin() {
     stats_.t_start = engine().now();
+    span_total_ = tracer().begin(obs_track_, "mig.total");
+    tracer().attr(span_total_, "pid", std::to_string(stats_.pid.value));
+    tracer().attr(span_total_, "strategy", strategy_name(stats_.strategy));
+    tracer().attr(span_total_, "live", stats_.live ? "1" : "0");
+    phase_ = Phase::connect;
     ctrl_ = node_->stack().make_udp();
     ctrl_->bind(node_->local_addr(), 0);
     ctrl_->set_on_readable([self = shared_from_this()] { self->on_ctrl_readable(); });
@@ -179,11 +224,26 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
     });
   }
 
+  /// End a span handle if it is still open; zero the handle either way.
+  void close_span(obs::SpanId& id) {
+    if (id != 0) tracer().end(id);
+    id = 0;
+  }
+
   void fail(const std::string& why) {
     DVEMIG_WARN("migd", "migration of pid %u failed: %s", stats_.pid.value,
                 why.c_str());
     if (proc_->frozen()) proc_->resume();  // best effort: keep the source alive
     stats_.success = false;
+    // Close the whole span tree inner-to-outer so depths unwind cleanly.
+    close_span(span_stage_);
+    close_span(span_round_);
+    close_span(span_precopy_);
+    close_span(span_freeze_);
+    if (span_total_ != 0) tracer().attr(span_total_, "error", why);
+    close_span(span_total_);
+    phase_ = Phase::done;
+    MigMetrics::get().failed.add(1);
     detach_later();
     owner_->source_finished(stats_);
   }
@@ -211,6 +271,8 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
     channel_->send(MsgType::mig_begin, std::move(w));
     connect_timer_.cancel();
     if (stats_.live) {
+      span_precopy_ = tracer().begin(obs_track_, "mig.precopy");
+      phase_ = Phase::precopy;
       precopy_round();
     } else {
       // Stop-and-copy: no precopy — the process is down for the whole transfer
@@ -228,10 +290,14 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
         if (on_socket_ack_) std::exchange(on_socket_ack_, nullptr)();
         return;
       case MsgType::resume_done: {
-        stats_.t_resume = SimTime::nanoseconds(r.i64());
+        // The destination reports its resume instant on the shared simulated
+        // timeline; the freeze span ends there, not at frame arrival.
+        const auto t_resume = SimTime::nanoseconds(r.i64());
         stats_.captured = r.u64();
         stats_.reinjected = r.u64();
-        finish();
+        tracer().end_at(span_freeze_, t_resume.ns);
+        tracer().end_at(span_total_, t_resume.ns);
+        finish(t_resume);
         return;
       }
       case MsgType::mig_abort:
@@ -246,6 +312,7 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
   // ---------------- precopy ----------------
 
   void precopy_round() {
+    span_round_ = tracer().begin(obs_track_, "mig.precopy_round");
     ckpt::MemoryDelta delta = mem_tracker_.round(proc_->mem());
     SimDuration cost = SimTime::nanoseconds(
         static_cast<std::int64_t>(delta.dirty_pages.size()) * cm().page_copy_ns);
@@ -292,6 +359,10 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
         channel_->send(MsgType::socket_state, std::move(w2));
       }
       stats_.precopy_rounds += 1;
+      tracer().attr(span_round_, "round", std::to_string(stats_.precopy_rounds));
+      tracer().attr(span_round_, "dirty_pages",
+                    std::to_string(delta.dirty_pages.size()));
+      tracer().attr(span_round_, "socket_records", std::to_string(sock_records));
       DVEMIG_DEBUG("migd", "pid %u precopy round %d: %zu dirty pages, %u socket "
                    "records, next timeout %.1f ms",
                    stats_.pid.value, stats_.precopy_rounds,
@@ -308,6 +379,9 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
       // successive rounds pile up in the channel's send queue and the freeze
       // phase's tiny control messages crawl out behind megabytes of pages.
       wait_for_drain([self = shared_from_this(), wait, last] {
+        // The round span covers scan + serialize + the transfer itself: it
+        // closes when this round's bytes have actually left the send queue.
+        self->close_span(self->span_round_);
         self->engine().schedule_after(wait, [self, last] {
           if (last) {
             self->enter_freeze();
@@ -335,7 +409,10 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
   void enter_freeze() {
     DVEMIG_DEBUG("migd", "pid %u entering freeze at %.3f ms", stats_.pid.value,
                  engine().now().to_ms());
-    stats_.t_freeze_begin = engine().now();
+    close_span(span_precopy_);
+    span_freeze_ = tracer().begin(obs_track_, "mig.freeze");
+    phase_ = Phase::freeze;
+    stats_.t_freeze_begin = engine().now();  // == the span's begin instant
     stats_.precopy_channel_bytes = channel_->bytes_sent();
     proc_->freeze();
 
@@ -399,10 +476,15 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
 
   void send_capture_request(const std::vector<CaptureSpec>& specs,
                             std::function<void()> then) {
+    span_stage_ = tracer().begin(obs_track_, "mig.capture_arm");
+    tracer().attr(span_stage_, "specs", std::to_string(specs.size()));
     BinaryWriter w;
     w.u32(static_cast<std::uint32_t>(specs.size()));
     for (const CaptureSpec& s : specs) s.serialize(w);
-    on_capture_enabled_ = std::move(then);
+    on_capture_enabled_ = [this, then = std::move(then)] {
+      close_span(span_stage_);
+      then();
+    };
     channel_->send(MsgType::capture_request, std::move(w));
   }
 
@@ -413,7 +495,11 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
   void request_translations(const std::vector<const MigSocket*>& socks,
                             std::function<void()> then) {
     DVEMIG_ASSERT(pending_trans_ == 0);
-    on_trans_done_ = std::move(then);
+    span_stage_ = tracer().begin(obs_track_, "mig.translate");
+    on_trans_done_ = [this, then = std::move(then)] {
+      close_span(span_stage_);
+      then();
+    };
     for (const MigSocket* ms : socks) {
       if (!ms->translatable) continue;
       TranslationRule rule;
@@ -492,10 +578,12 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
       request_translations({&sockets_[idx]}, [this, idx] {
         const MigSocket& ms = sockets_[idx];
         disable_for_migration(ms);
+        span_stage_ = tracer().begin(obs_track_, "mig.subtract");
         BinaryWriter buf;
         const std::uint32_t records = emit_socket(ms, buf, /*force_all=*/true);
         const SimDuration cost = cm().subtract_cost(1, buf.size());
         after(cost, [this, buf = std::move(buf), records]() mutable {
+          close_span(span_stage_);
           BinaryWriter w;
           w.u32(records);
           w.bytes(buf.buffer());
@@ -529,6 +617,7 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
   }
 
   void collective_subtract() {
+    span_stage_ = tracer().begin(obs_track_, "mig.subtract");
     for (const MigSocket& ms : sockets_) disable_for_migration(ms);
 
     const bool force = stats_.strategy == SocketMigStrategy::collective;
@@ -547,7 +636,10 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
                                               cm().per_byte_subtract_ns));
     DVEMIG_DEBUG("migd", "pid %u subtract: %u records, %zu bytes", stats_.pid.value,
                  records, buf.size());
+    tracer().attr(span_stage_, "records", std::to_string(records));
+    tracer().attr(span_stage_, "bytes", std::to_string(buf.size()));
     after(cost, [this, buf = std::move(buf), records]() mutable {
+      close_span(span_stage_);
       if (records > 0) {
         BinaryWriter w;
         w.u32(records);
@@ -562,11 +654,15 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
   // Final incremental memory step + BLCR's regular fd-table iteration (process
   // metadata, excluding the already-processed network connections).
   void final_transfer() {
+    span_stage_ = tracer().begin(obs_track_, "mig.final_transfer");
     ckpt::MemoryDelta delta = mem_tracker_.round(proc_->mem());
+    tracer().attr(span_stage_, "dirty_pages",
+                  std::to_string(delta.dirty_pages.size()));
     const SimDuration cost = SimTime::nanoseconds(
         static_cast<std::int64_t>(delta.dirty_pages.size()) * cm().page_copy_ns +
         cm().process_meta_ns);
     after(cost, [this, delta = std::move(delta)]() mutable {
+      close_span(span_stage_);
       BinaryWriter wm;
       delta.serialize(wm);
       channel_->send(MsgType::memory_delta, std::move(wm));
@@ -579,10 +675,32 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
     });
   }
 
-  void finish() {
+  void finish(SimTime t_resume) {
     stats_.freeze_channel_bytes =
         channel_->bytes_sent() - stats_.precopy_channel_bytes;
     stats_.success = true;
+
+    // The stats' freeze window is *derived from the span tree*: the span is
+    // the source of truth, so trace JSON and MigrationStats can never drift
+    // apart. (Fallback to the frame-carried value if the ring already evicted
+    // the span — possible only with a tiny tracer capacity.)
+    if (const obs::Span* fz = tracer().find(span_freeze_)) {
+      stats_.t_freeze_begin = SimTime::nanoseconds(fz->t_begin_ns);
+      stats_.t_resume = SimTime::nanoseconds(fz->t_end_ns);
+    } else {
+      stats_.t_resume = t_resume;
+    }
+    span_freeze_ = 0;
+    span_total_ = 0;
+    phase_ = Phase::done;
+
+    auto& m = MigMetrics::get();
+    m.completed.add(1);
+    m.freeze_bytes.add(stats_.freeze_channel_bytes);
+    m.precopy_bytes.add(stats_.precopy_channel_bytes);
+    m.freeze_time_us.record(static_cast<double>(stats_.freeze_time().ns) / 1e3);
+    m.total_time_us.record(static_cast<double>(stats_.total_time().ns) / 1e3);
+    m.precopy_rounds.record(stats_.precopy_rounds);
     // Rules that translated for the just-migrated sockets are now dead weight on
     // this node (their subject no longer lives here): drop them.
     for (const MigSocket& ms : sockets_) {
@@ -620,6 +738,14 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
   std::function<void()> on_capture_enabled_;
   std::function<void()> on_socket_ack_;
   std::function<void()> on_trans_done_;
+
+  Phase phase_{Phase::idle};
+  std::uint32_t obs_track_{0};
+  obs::SpanId span_total_{0};
+  obs::SpanId span_precopy_{0};
+  obs::SpanId span_round_{0};
+  obs::SpanId span_freeze_{0};
+  obs::SpanId span_stage_{0};  // current freeze stage (capture/translate/...)
 };
 
 // -------------------------------------------------------------- DestSession
@@ -732,6 +858,9 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
       }
       case MsgType::process_image: {
         img_ = ckpt::ProcessImage::deserialize(r);
+        span_restore_ = tracer().begin(
+            tracer().track(node_->name() + "/migd.dst"), "mig.restore");
+        tracer().attr(span_restore_, "pid", std::to_string(img_.pid.value));
         const SimDuration cost =
             SimTime::nanoseconds(cm().restore_meta_ns) +
             cm().restore_cost(staging_.size(), socket_bytes_);
@@ -787,6 +916,12 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
     const std::size_t captured = owner_->capture_.queued(capture_session_);
     const std::size_t reinjected = owner_->capture_.finish_session(capture_session_);
 
+    tracer().attr(span_restore_, "sockets", std::to_string(staging_.size()));
+    tracer().attr(span_restore_, "reinjected", std::to_string(reinjected));
+    tracer().end(span_restore_);
+    span_restore_ = 0;
+    MigMetrics::get().restores.add(1);
+
     BinaryWriter w;
     w.i64(engine().now().ns);
     w.u64(captured);
@@ -821,6 +956,7 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
   std::uint64_t memory_bytes_{0};
   std::uint64_t pages_received_{0};
   ckpt::ProcessImage img_;
+  obs::SpanId span_restore_{0};
 };
 
 // ==================================================================== Migd

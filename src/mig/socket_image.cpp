@@ -1,10 +1,16 @@
 #include "src/mig/socket_image.hpp"
 
 #include "src/mig/cost_model.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace dvemig::mig {
 
 namespace {
+
+obs::Counter& rehash_counter() {
+  static obs::Counter& c = obs::Registry::instance().counter("tcp.rehash");
+  return c;
+}
 
 void write_endpoint(BinaryWriter& w, net::Endpoint e) {
   w.u32(e.addr.value);
@@ -382,6 +388,7 @@ stack::TcpSocket::Ptr restore_tcp(const TcpImage& img, const RestoreContext& ctx
       ctx.stack->local_now_ns() - ctx.src_local_now_at_ckpt_ns;
   if (ctx.adjust_timestamps) {
     cb.ts_offset += jiffies_delta;
+    obs::Registry::instance().counter("tcp.ts_fixups").add(1);
   }
 
   for (const auto& s : img.write_queue) {
@@ -411,6 +418,7 @@ stack::TcpSocket::Ptr restore_tcp(const TcpImage& img, const RestoreContext& ctx
     sock->set_accept_backlog_limit(img.backlog_limit);
     ctx.stack->table().bhash_insert(sock, local.port);
     sock->set_hashed_bound(true);
+    rehash_counter().add(1);
     for (const TcpImage& child_img : img.accept_children) {
       auto child = restore_tcp(child_img, ctx);
       sock->accept_queue().push_back(std::move(child));
@@ -418,6 +426,7 @@ stack::TcpSocket::Ptr restore_tcp(const TcpImage& img, const RestoreContext& ctx
   } else {
     ctx.stack->table().ehash_insert(sock, stack::FourTuple{local, img.remote});
     sock->set_hashed_established(true);
+    rehash_counter().add(1);
   }
   sock->restart_timers_after_restore();
   return sock;
@@ -436,6 +445,7 @@ std::shared_ptr<stack::UdpSocket> restore_udp(const UdpImage& img,
   if (img.bound) {
     // Rehash the bound server socket on the destination (Section V-C2).
     ctx.stack->table().bhash_insert(sock, local.port);
+    rehash_counter().add(1);
   }
   return sock;
 }

@@ -1,0 +1,99 @@
+#include "src/obs/bench_report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/log.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/span.hpp"
+
+namespace dvemig::obs {
+
+void BenchReport::result(const std::string& key, double value) {
+  for (auto& [k, v] : results_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  results_.emplace_back(key, value);
+}
+
+void BenchReport::note(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : notes_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  notes_.emplace_back(key, value);
+}
+
+void BenchReport::add_standard_metrics() {
+  const Registry& reg = Registry::instance();
+  const Histogram* freeze = reg.find_histogram("mig.freeze_time_us");
+  result("freeze_time_ms", freeze != nullptr ? freeze->max() / 1e3 : 0);
+  const Counter* bytes = reg.find_counter("mig.freeze_bytes");
+  result("freeze_bytes",
+         bytes != nullptr ? static_cast<double>(bytes->value()) : 0);
+  const Histogram* delay = reg.find_histogram("capture.packet_delay_us");
+  result("packet_delay_ms", delay != nullptr ? delay->max() / 1e3 : 0);
+}
+
+std::string BenchReport::json() const {
+  std::string out = "{\n\"bench\": \"" + json_escape(name_) +
+                    "\",\n\"schema\": 1,\n\"results\": {";
+  bool first = true;
+  for (const auto& [key, value] : results_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  \"" + json_escape(key) + "\": " + json_number(value);
+  }
+  out += first ? "}" : "\n}";
+  out += ",\n\"notes\": {";
+  first = true;
+  for (const auto& [key, value] : notes_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  \"" + json_escape(key) + "\": \"" + json_escape(value) + "\"";
+  }
+  out += first ? "}" : "\n}";
+  out += ",\n\"metrics\": " + Registry::instance().json();
+  const Tracer& tracer = Tracer::instance();
+  out += ",\n\"spans\": {\"completed\": " +
+         std::to_string(tracer.completed_count()) +
+         ", \"dropped\": " + std::to_string(tracer.dropped()) +
+         ", \"by_name\": {";
+  first = true;
+  for (const auto& [name, stats] : tracer.summary()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  \"" + json_escape(name) +
+           "\": {\"count\": " + std::to_string(stats.count) + ", \"total_us\": " +
+           json_number(static_cast<double>(stats.total_ns) / 1e3) + "}";
+  }
+  out += first ? "}" : "\n}";
+  out += "}\n}\n";
+  return out;
+}
+
+std::string BenchReport::write() const {
+  std::string dir;
+  if (const char* v = std::getenv("DVEMIG_BENCH_DIR")) {
+    if (v[0] != '\0') dir = std::string(v) + "/";
+  }
+  const std::string path = dir + "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    DVEMIG_WARN("obs", "cannot write bench report %s", path.c_str());
+    return "";
+  }
+  const std::string body = json();
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) return "";
+  std::fprintf(stderr, "# bench report: %s\n", path.c_str());
+  return path;
+}
+
+}  // namespace dvemig::obs

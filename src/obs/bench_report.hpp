@@ -1,0 +1,52 @@
+// Machine-readable bench artifacts: every bench binary writes a
+// BENCH_<name>.json so the perf trajectory between PRs is comparable.
+//
+// Schema (version 1):
+//   {
+//     "bench": "<name>", "schema": 1,
+//     "results": { "<key>": <number>, ... },       // bench-specific scalars
+//     "notes":   { "<key>": "<string>", ... },
+//     "metrics": <full metrics-registry snapshot>,
+//     "spans":   { "completed": N, "dropped": N,
+//                  "by_name": { "<span>": {"count": N, "total_us": X}, ... } }
+//   }
+//
+// add_standard_metrics() guarantees the three cross-bench keys every report
+// must carry — freeze_time_ms, freeze_bytes, packet_delay_ms — pulled from the
+// registry (worst case over every migration the bench ran).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dvemig::obs {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Set (or overwrite) a scalar result.
+  void result(const std::string& key, double value);
+  void note(const std::string& key, const std::string& value);
+
+  /// Fill the mandatory cross-bench keys from the metrics registry:
+  ///   freeze_time_ms   max of histogram mig.freeze_time_us
+  ///   freeze_bytes     counter mig.freeze_bytes
+  ///   packet_delay_ms  max of histogram capture.packet_delay_us
+  /// Missing metrics (a bench that never migrated) become 0.
+  void add_standard_metrics();
+
+  std::string json() const;
+
+  /// Write BENCH_<name>.json into $DVEMIG_BENCH_DIR (or the cwd), returning
+  /// the path written, or an empty string on failure.
+  std::string write() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> results_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+};
+
+}  // namespace dvemig::obs

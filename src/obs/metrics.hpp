@@ -1,0 +1,118 @@
+// Metrics registry — named counters, gauges and fixed-bucket histograms.
+//
+// Naming convention: `subsystem.noun_verb`, e.g. `mig.freeze_time_us`,
+// `capture.dedup_hits`, `tcp.retransmits`, `lb.migrations_initiated`. Units go
+// in the name suffix (`_us`, `_bytes`) — the registry stores bare numbers.
+//
+// The registry is process-global (the simulator is single-threaded) and
+// append-only: a metric object, once created, lives for the rest of the
+// process, so hot paths may cache `Counter&` references in function-local
+// statics. `reset()` zeroes every value but never invalidates a reference.
+//
+// `json()` dumps a machine-readable snapshot; it is what the bench binaries
+// embed into their BENCH_<name>.json artifacts and what the at-exit exporter
+// writes when `DVEMIG_METRICS_OUT` / `DVEMIG_OBS_DIR` is set (src/obs/runtime).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dvemig::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  double value_{0};
+};
+
+/// Fixed upper-bound buckets plus one overflow bucket, cumulative-free (each
+/// bucket counts only its own range, the snapshot is trivially re-aggregable).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void record(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0; }
+  double max() const { return count_ ? max_ : 0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last one counts values past every bound.
+  const std::vector<std::uint64_t>& bucket_counts() const { return buckets_; }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_{0};
+  double sum_{0};
+  double min_{0};
+  double max_{0};
+};
+
+/// Default bounds for microsecond-scale latency histograms: 1us .. 10s, a
+/// 1-2-5 ladder (matches the freeze-time range the paper's figures cover).
+const std::vector<double>& default_latency_bounds_us();
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create. Returned references stay valid for the process lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` is only consulted on first creation; empty means the default
+  /// microsecond-latency ladder.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Zero every value; registrations (and references into them) survive.
+  void reset();
+
+  /// JSON snapshot: {"counters":{..},"gauges":{..},"histograms":{..}}.
+  std::string json() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Escape a string for embedding in a JSON document (shared by the span
+/// tracer's trace_event export and the bench reports).
+std::string json_escape(const std::string& s);
+
+/// Format a double as a JSON number (finite guaranteed; non-finite becomes 0).
+std::string json_number(double v);
+
+}  // namespace dvemig::obs

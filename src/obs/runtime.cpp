@@ -1,0 +1,81 @@
+#include "src/obs/runtime.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/span.hpp"
+
+namespace dvemig::obs {
+
+namespace {
+
+struct ExportPaths {
+  std::string trace_out;    // explicit override (CLI)
+  std::string metrics_out;  // explicit override (CLI)
+};
+
+ExportPaths& paths() {
+  static ExportPaths p;
+  return p;
+}
+
+void write_text_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+}
+
+const char* env(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' ? v : nullptr;
+}
+
+/// Registry and Tracer live in one holder so the at-exit export (the holder's
+/// destructor) runs while both are still alive, whatever their first-use order.
+struct ObsCore {
+  Registry registry;
+  Tracer tracer;
+  ~ObsCore() { export_now(); }
+};
+
+ObsCore& core() {
+  static ObsCore c;
+  return c;
+}
+
+}  // namespace
+
+Registry& Registry::instance() { return core().registry; }
+Tracer& Tracer::instance() { return core().tracer; }
+
+void set_trace_out(std::string path) { paths().trace_out = std::move(path); }
+void set_metrics_out(std::string path) { paths().metrics_out = std::move(path); }
+
+void apply_common_flags(const CommonFlags& flags) {
+  if (!flags.trace_out.empty()) set_trace_out(flags.trace_out);
+  if (!flags.metrics_out.empty()) set_metrics_out(flags.metrics_out);
+}
+
+void export_now() {
+  std::string trace = paths().trace_out;
+  std::string metrics = paths().metrics_out;
+  if (trace.empty()) {
+    if (const char* v = env("DVEMIG_TRACE_OUT")) trace = v;
+  }
+  if (metrics.empty()) {
+    if (const char* v = env("DVEMIG_METRICS_OUT")) metrics = v;
+  }
+  if (const char* dir = env("DVEMIG_OBS_DIR")) {
+    const std::string pid = std::to_string(static_cast<long>(::getpid()));
+    if (trace.empty()) trace = std::string(dir) + "/trace_" + pid + ".json";
+    if (metrics.empty()) metrics = std::string(dir) + "/metrics_" + pid + ".json";
+  }
+  if (!trace.empty()) core().tracer.write_chrome_trace(trace);
+  if (!metrics.empty()) write_text_file(metrics, core().registry.json());
+}
+
+}  // namespace dvemig::obs

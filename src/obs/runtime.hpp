@@ -1,0 +1,31 @@
+// Process-level observability runtime: singleton wiring and at-exit export.
+//
+// Every dvemig binary honours three environment variables, with zero per-binary
+// code:
+//   DVEMIG_TRACE_OUT=<file>    write the Chrome trace_event JSON at exit;
+//   DVEMIG_METRICS_OUT=<file>  write the metrics-registry JSON at exit;
+//   DVEMIG_OBS_DIR=<dir>       write both, as <dir>/trace_<pid>.json and
+//                              <dir>/metrics_<pid>.json (CI failure artifacts).
+// `set_trace_out`/`set_metrics_out` override the env (the shared --trace-out /
+// --metrics-out CLI flags route here).
+#pragma once
+
+#include <string>
+
+#include "src/common/cli.hpp"
+
+namespace dvemig::obs {
+
+/// Override/enable the at-exit chrome-trace export (empty disables override).
+void set_trace_out(std::string path);
+/// Override/enable the at-exit metrics-snapshot export.
+void set_metrics_out(std::string path);
+
+/// Apply the shared CLI flags (src/common/cli.hpp): --trace-out/--metrics-out.
+/// The log level was already applied by parse_common_flags itself.
+void apply_common_flags(const CommonFlags& flags);
+
+/// Run the exports immediately (also happens automatically at process exit).
+void export_now();
+
+}  // namespace dvemig::obs

@@ -1,0 +1,213 @@
+#include "src/obs/span.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/log.hpp"
+#include "src/common/sim_clock.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace dvemig::obs {
+
+std::uint32_t Tracer::track(const std::string& name) {
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  tracks_.push_back(name);
+  return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+SpanId Tracer::begin(std::uint32_t track, std::string name) {
+  return begin_at(track, std::move(name), SimClock::now_ns());
+}
+
+SpanId Tracer::begin_at(std::uint32_t track, std::string name,
+                        std::int64_t t_ns) {
+  const SpanId id = next_id_++;
+  Span span;
+  span.id = id;
+  span.track = track;
+  span.t_begin_ns = t_ns;
+  span.name = std::move(name);
+  auto& stack = open_stacks_[track];
+  span.depth = static_cast<std::uint32_t>(stack.size());
+  stack.push_back(id);
+  open_.emplace(id, std::move(span));
+  return id;
+}
+
+void Tracer::attr(SpanId id, std::string key, std::string value) {
+  const auto it = open_.find(id);
+  if (it == open_.end()) return;
+  it->second.attrs.emplace_back(std::move(key), std::move(value));
+}
+
+void Tracer::end(SpanId id) { end_at(id, SimClock::now_ns()); }
+
+void Tracer::end_at(SpanId id, std::int64_t t_ns) {
+  const auto it = open_.find(id);
+  if (it == open_.end()) return;  // unknown / already ended — tolerate
+  Span span = std::move(it->second);
+  open_.erase(it);
+  auto& stack = open_stacks_[span.track];
+  stack.erase(std::remove(stack.begin(), stack.end(), id), stack.end());
+  span.t_end_ns = std::max(t_ns, span.t_begin_ns);
+  complete(std::move(span));
+}
+
+void Tracer::complete(Span span) {
+  if (done_.size() >= capacity_) {
+    done_.pop_front();
+    dropped_ += 1;
+  }
+  done_.push_back(std::move(span));
+}
+
+const Span* Tracer::find(SpanId id) const {
+  const auto it = open_.find(id);
+  if (it != open_.end()) return &it->second;
+  for (auto rit = done_.rbegin(); rit != done_.rend(); ++rit) {
+    if (rit->id == id) return &*rit;
+  }
+  return nullptr;
+}
+
+const Span* Tracer::last_completed(std::string_view name) const {
+  for (auto rit = done_.rbegin(); rit != done_.rend(); ++rit) {
+    if (rit->name == name) return &*rit;
+  }
+  return nullptr;
+}
+
+void Tracer::clear() {
+  open_.clear();
+  open_stacks_.clear();
+  done_.clear();
+  dropped_ = 0;
+}
+
+std::map<std::string, SpanStats> Tracer::summary() const {
+  std::map<std::string, SpanStats> out;
+  for (const Span& s : done_) {
+    SpanStats& stats = out[s.name];
+    stats.count += 1;
+    stats.total_ns += s.duration_ns();
+  }
+  return out;
+}
+
+namespace {
+
+void append_args(std::string& out, const Span& s) {
+  out += "\"args\":{";
+  for (std::size_t i = 0; i < s.attrs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += '"';
+    out += json_escape(s.attrs[i].first);
+    out += "\":\"";
+    out += json_escape(s.attrs[i].second);
+    out += '"';
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string Tracer::chrome_trace_json() const {
+  // trace_event format: ts/dur in (fractional) microseconds, tracks as tids of
+  // one synthetic process. "X" = complete span, "B" = still open at export,
+  // "M" = metadata naming the tracks.
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(i) + ",\"args\":{\"name\":\"" +
+           json_escape(tracks_[i]) + "\"}}";
+  }
+  for (const Span& s : done_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(s.t_begin_ns) / 1e3);
+    out += "{\"name\":\"" + json_escape(s.name) +
+           "\",\"cat\":\"dvemig\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+           std::to_string(s.track) + ",\"ts\":" + buf;
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(s.duration_ns()) / 1e3);
+    out += ",\"dur\":";
+    out += buf;
+    out += ",";
+    append_args(out, s);
+    out += "}";
+  }
+  // Deterministic order for open spans despite the unordered map.
+  std::vector<const Span*> open;
+  open.reserve(open_.size());
+  for (const auto& [id, span] : open_) open.push_back(&span);
+  std::sort(open.begin(), open.end(),
+            [](const Span* a, const Span* b) { return a->id < b->id; });
+  for (const Span* s : open) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(s->t_begin_ns) / 1e3);
+    out += "{\"name\":\"" + json_escape(s->name) +
+           "\",\"cat\":\"dvemig\",\"ph\":\"B\",\"pid\":1,\"tid\":" +
+           std::to_string(s->track) + ",\"ts\":" + buf + ",";
+    append_args(out, *s);
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string Tracer::timeline_text() const {
+  std::vector<const Span*> spans;
+  spans.reserve(done_.size() + open_.size());
+  for (const Span& s : done_) spans.push_back(&s);
+  for (const auto& [id, span] : open_) spans.push_back(&span);
+  std::sort(spans.begin(), spans.end(), [](const Span* a, const Span* b) {
+    if (a->t_begin_ns != b->t_begin_ns) return a->t_begin_ns < b->t_begin_ns;
+    return a->id < b->id;
+  });
+  std::string out;
+  char buf[128];
+  for (const Span* s : spans) {
+    const std::string& track =
+        s->track < tracks_.size() ? tracks_[s->track] : "?";
+    std::snprintf(buf, sizeof buf, "%12.6f %-12s %*s",
+                  static_cast<double>(s->t_begin_ns) / 1e9, track.c_str(),
+                  static_cast<int>(s->depth) * 2, "");
+    out += buf;
+    out += s->name;
+    if (s->open()) {
+      out += " [open]";
+    } else {
+      std::snprintf(buf, sizeof buf, " (%.3f ms)",
+                    static_cast<double>(s->duration_ns()) / 1e6);
+      out += buf;
+    }
+    for (const auto& [key, value] : s->attrs) {
+      out += " " + key + "=" + value;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    DVEMIG_WARN("obs", "cannot write trace to %s", path.c_str());
+    return false;
+  }
+  const std::string json = chrome_trace_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+}  // namespace dvemig::obs

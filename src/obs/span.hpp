@@ -1,0 +1,126 @@
+// Span tracer — sim-time-stamped begin/end spans with nesting and key/value
+// attributes, the tcpdump-for-phases the paper's evaluation implies: every
+// migration phase (precopy round, freeze, capture arming, subtract, restore)
+// becomes a first-class, exportable event instead of a hand-updated counter.
+//
+// Spans live on *tracks* (one per node/daemon, interned by name). Completed
+// spans go into a bounded ring; open spans are held aside and can never be
+// evicted, so an in-flight migration's `mig.freeze` span survives arbitrarily
+// long traces. Two exports:
+//   - chrome_trace_json(): Chrome `trace_event` array, loadable in
+//     chrome://tracing and Perfetto (tracks map to tid, sim-time to ts);
+//   - timeline_text(): plain-text, indentation = nesting depth.
+//
+// Time comes from SimClock (the engine's thread-local now provider); explicit
+// `begin_at`/`end_at` exist for spans whose endpoints are reported by a remote
+// peer on the same simulated timeline (e.g. the destination's resume time).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dvemig::obs {
+
+using SpanId = std::uint64_t;  // 0 = "no span"
+
+struct Span {
+  SpanId id{0};
+  std::uint32_t track{0};
+  std::uint32_t depth{0};
+  std::int64_t t_begin_ns{0};
+  std::int64_t t_end_ns{-1};  // -1 while open (sim time is never negative)
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  bool open() const { return t_end_ns < 0; }
+  std::int64_t duration_ns() const { return open() ? 0 : t_end_ns - t_begin_ns; }
+};
+
+struct SpanStats {
+  std::uint64_t count{0};
+  std::int64_t total_ns{0};
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  explicit Tracer(std::size_t capacity = 1u << 16) : capacity_(capacity) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Intern a track (node/daemon name) -> stable track id.
+  std::uint32_t track(const std::string& name);
+  const std::vector<std::string>& track_names() const { return tracks_; }
+
+  SpanId begin(std::uint32_t track, std::string name);
+  SpanId begin_at(std::uint32_t track, std::string name, std::int64_t t_ns);
+  /// Attach a key/value attribute to an *open* span (no-op once completed).
+  void attr(SpanId id, std::string key, std::string value);
+  void end(SpanId id);
+  void end_at(SpanId id, std::int64_t t_ns);
+
+  /// Look up a span, open or completed. Pointers are invalidated by the next
+  /// begin/end/clear — copy out what you need.
+  const Span* find(SpanId id) const;
+  /// Most recently completed span with this name (nullptr if none survive).
+  const Span* last_completed(std::string_view name) const;
+
+  std::size_t completed_count() const { return done_.size(); }
+  std::size_t open_count() const { return open_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Completed spans evicted from the ring because it was full.
+  std::uint64_t dropped() const { return dropped_; }
+
+  void clear();
+
+  /// Aggregate completed spans by name.
+  std::map<std::string, SpanStats> summary() const;
+
+  std::string chrome_trace_json() const;
+  std::string timeline_text() const;
+  /// Write chrome_trace_json() to `path`; false (and a warning) on failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  void complete(Span span);
+
+  std::size_t capacity_;
+  SpanId next_id_{1};
+  std::uint64_t dropped_{0};
+  std::vector<std::string> tracks_;
+  std::unordered_map<SpanId, Span> open_;
+  // Per-track stack of open span ids; its size at begin() is the new depth.
+  std::unordered_map<std::uint32_t, std::vector<SpanId>> open_stacks_;
+  std::deque<Span> done_;
+};
+
+/// RAII span for synchronous scopes. Asynchronous phases (anything that spans
+/// engine events) must use Tracer::begin/end with a stored SpanId instead.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::uint32_t track, std::string name)
+      : id_(Tracer::instance().begin(track, std::move(name))) {}
+  ~ScopedSpan() { Tracer::instance().end(id_); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  SpanId id() const { return id_; }
+
+ private:
+  SpanId id_;
+};
+
+#define DVEMIG_OBS_CONCAT2(a, b) a##b
+#define DVEMIG_OBS_CONCAT(a, b) DVEMIG_OBS_CONCAT2(a, b)
+/// Open a span for the rest of the enclosing scope.
+#define OBS_SPAN(track, name) \
+  ::dvemig::obs::ScopedSpan DVEMIG_OBS_CONCAT(obs_span_, __LINE__)(track, name)
+
+}  // namespace dvemig::obs

@@ -1,8 +1,32 @@
 #include "src/sim/engine.hpp"
 
+#include "src/common/sim_clock.hpp"
+#include "src/obs/metrics.hpp"
+
 namespace dvemig::sim {
 
+namespace {
+
+std::int64_t engine_clock_thunk(const void* ctx) {
+  return static_cast<const Engine*>(ctx)->now().ns;
+}
+
+}  // namespace
+
+Engine::Engine()
+    : events_counter_(&obs::Registry::instance().counter("sim.events_fired")),
+      pending_gauge_(&obs::Registry::instance().gauge("sim.pending_events_peak")),
+      rate_gauge_(&obs::Registry::instance().gauge("sim.sim_seconds")) {
+  SimClock::publish(&engine_clock_thunk, this);
+}
+
+Engine::~Engine() { SimClock::retract(this); }
+
 bool Engine::fire_next() {
+  if (queue_.size() > peak_pending_) {
+    peak_pending_ = queue_.size();
+    pending_gauge_->set(static_cast<double>(peak_pending_));
+  }
   while (!queue_.empty()) {
     Event ev = queue_.top();
     queue_.pop();
@@ -12,6 +36,7 @@ bool Engine::fire_next() {
     *ev.alive = false;  // consume before firing so re-arming inside fn works
     ev.fn();
     events_fired_ += 1;
+    events_counter_->add(1);
     if (post_event_) post_event_();
     return true;
   }
@@ -21,6 +46,7 @@ bool Engine::fire_next() {
 std::size_t Engine::run(std::size_t limit) {
   std::size_t fired = 0;
   while (fired < limit && fire_next()) ++fired;
+  rate_gauge_->set(static_cast<double>(now_.ns) / 1e9);
   return fired;
 }
 
@@ -36,6 +62,7 @@ std::size_t Engine::run_until(SimTime until) {
     if (fire_next()) ++fired;
   }
   if (now_ < until) now_ = until;
+  rate_gauge_->set(static_cast<double>(now_.ns) / 1e9);
   return fired;
 }
 

@@ -18,6 +18,11 @@
 #include "src/common/assert.hpp"
 #include "src/common/types.hpp"
 
+namespace dvemig::obs {
+class Counter;
+class Gauge;
+}  // namespace dvemig::obs
+
 namespace dvemig::sim {
 
 using EventFn = std::function<void()>;
@@ -45,7 +50,11 @@ class TimerHandle {
 
 class Engine {
  public:
-  Engine() = default;
+  /// Construction publishes this engine as the thread-local SimClock provider
+  /// (the logger's time prefix and the span tracer read it); destruction
+  /// retracts it. With several engines alive, the newest one owns the clock.
+  Engine();
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -106,6 +115,12 @@ class Engine {
   std::uint64_t events_fired_{0};
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   EventFn post_event_;
+  // Observability (src/obs): registry objects are process-lived, so caching
+  // the pointers keeps the per-event cost to one integer add.
+  obs::Counter* events_counter_;
+  obs::Gauge* pending_gauge_;
+  obs::Gauge* rate_gauge_;
+  std::size_t peak_pending_{0};
 };
 
 }  // namespace dvemig::sim

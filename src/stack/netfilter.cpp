@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/assert.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace dvemig::stack {
 
@@ -24,9 +25,13 @@ Verdict NetfilterChain::run(Hook hook, net::Packet& p) {
   // Prune dead registrations first so iteration below stays simple even if a hook
   // releases itself (or another) mid-run — released hooks fire at most this pass.
   std::erase_if(entries, [](const Entry& e) { return !*e.alive; });
+  static obs::Counter& stolen = obs::Registry::instance().counter("nf.stolen");
+  static obs::Counter& dropped = obs::Registry::instance().counter("nf.dropped");
   for (const auto& entry : entries) {
     if (!*entry.alive) continue;
     const Verdict v = entry.fn(p);
+    if (v == Verdict::stolen) stolen.add(1);
+    if (v == Verdict::drop) dropped.add(1);
     if (v != Verdict::accept) return v;
   }
   return Verdict::accept;

@@ -3,11 +3,24 @@
 #include <algorithm>
 
 #include "src/common/log.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace dvemig::stack {
 
 namespace {
 constexpr std::uint32_t kMaxCwnd = 4u << 20;
+
+obs::Counter& retransmit_counter() {
+  static obs::Counter& c = obs::Registry::instance().counter("tcp.retransmits");
+  return c;
+}
+
+/// Segments parked on the backlog or prequeue instead of the fast path — the
+/// queues the freeze phase must find empty (tcp_busy() in migd).
+obs::Counter& queue_move_counter() {
+  static obs::Counter& c = obs::Registry::instance().counter("tcp.queue_moves");
+  return c;
+}
 
 bool connected_state(TcpState s) {
   switch (s) {
@@ -230,12 +243,14 @@ void TcpSocket::segment_arrived(net::Packet p) {
     // The user holds the socket lock ("in a system call"): defer to the backlog,
     // processed at release time — exactly the queue the freeze phase must not see.
     cb_.backlog.push_back(std::move(p));
+    queue_move_counter().add(1);
     return;
   }
   if (cb_.blocked_reader && cb_.state == TcpState::established) {
     // Fast-path receive: queue on the prequeue, processed in the blocked reader's
     // context (one simulation event later).
     cb_.prequeue.push_back(std::move(p));
+    queue_move_counter().add(1);
     if (!prequeue_timer_.pending()) {
       // Processed in the blocked reader's context after its wakeup latency.
       prequeue_timer_ = stack_->engine().schedule_after(
@@ -438,6 +453,7 @@ void TcpSocket::handle_ack(const net::Packet& p) {
         cb_.ssthresh = std::max<std::uint32_t>(cb_.inflight() / 2, 2 * kTcpMss);
         cb_.cwnd = cb_.ssthresh + 3 * kTcpMss;
         cb_.retransmissions += 1;
+        retransmit_counter().add(1);
         cb_.write_queue.front().retrans += 1;
         transmit_segment(cb_.write_queue.front());
       }
@@ -687,6 +703,7 @@ void TcpSocket::on_rto() {
   cb_.cwnd = kTcpMss;
   cb_.rto_ns = std::min(cb_.rto_ns * 2, kMaxRtoNs);
   cb_.retransmissions += 1;
+  retransmit_counter().add(1);
   cb_.dup_acks = 0;
   cb_.write_queue.front().retrans += 1;
   transmit_segment(cb_.write_queue.front());

@@ -3,6 +3,9 @@
 #include <climits>
 #include <cstdio>
 
+#include "src/common/log.hpp"
+#include "src/obs/metrics.hpp"
+
 namespace dvemig::stack {
 
 PacketTracer::PacketTracer(NetStack& stack, std::size_t max_records)
@@ -25,7 +28,16 @@ Verdict PacketTracer::observe(Direction dir, const net::Packet& p) {
     if (records_.size() < max_records_) {
       records_.push_back(Record{stack_->engine().now(), dir, p});
     } else {
+      if (dropped_ == 0) {
+        // Warn exactly once per tracer: a silently truncated capture looks
+        // identical to a quiet network and has burned whole debugging sessions.
+        DVEMIG_WARN("tracer",
+                    "packet trace full (%zu records); further packets are "
+                    "dropped (dropped_by_cap() has the count)",
+                    max_records_);
+      }
       dropped_ += 1;
+      obs::Registry::instance().counter("tracer.dropped_by_cap").add(1);
     }
   }
   return Verdict::accept;

@@ -1,0 +1,141 @@
+// Minimal strict JSON validator for tests — no third-party dependency.
+//
+// Validates full JSON syntax (objects, arrays, strings with escapes, numbers,
+// true/false/null) and rejects trailing garbage. Deliberately a validator, not
+// a parser: tests assert validity of exported documents (metrics snapshots,
+// Chrome trace_event files, bench reports), then grep for expected substrings.
+#pragma once
+
+#include <cctype>
+#include <string>
+
+namespace dvemig::testutil {
+
+class JsonLint {
+ public:
+  /// True iff `text` is one complete, syntactically valid JSON value.
+  static bool valid(const std::string& text, std::string* error = nullptr) {
+    JsonLint lint(text);
+    lint.skip_ws();
+    const bool ok = lint.value() && (lint.skip_ws(), lint.pos_ == text.size());
+    if (!ok && error != nullptr) {
+      *error = "invalid JSON near offset " + std::to_string(lint.pos_);
+    }
+    return ok;
+  }
+
+ private:
+  explicit JsonLint(const std::string& text) : text_(text) {}
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    pos_ += 1;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      pos_ += 1;
+    }
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!eat(*p)) return false;
+    }
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control char
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(peek()))) return false;
+            pos_ += 1;
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) pos_ += 1;
+    return true;
+  }
+
+  bool number() {
+    eat('-');
+    if (eat('0')) {
+      // leading zeros are invalid JSON
+    } else if (!digits()) {
+      return false;
+    }
+    if (eat('.') && !digits()) return false;
+    if (peek() == 'e' || peek() == 'E') {
+      pos_ += 1;
+      if (peek() == '+' || peek() == '-') pos_ += 1;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      if (!value()) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_{0};
+};
+
+}  // namespace dvemig::testutil

@@ -6,7 +6,9 @@
 
 #include <map>
 
+#include "json_lint.hpp"
 #include "src/check/verifier.hpp"
+#include "src/obs/span.hpp"
 #include "src/dve/game_server.hpp"
 #include "src/dve/population.hpp"
 #include "src/dve/testbed.hpp"
@@ -421,6 +423,45 @@ TEST_F(LiveMigrationFixture, StatsAccounting) {
   EXPECT_GT(stats.freeze_socket_bytes, 0u);
   EXPECT_LE(stats.t_freeze_begin, stats.t_resume);
   EXPECT_GE(stats.t_freeze_begin, stats.t_start);
+}
+
+TEST_F(LiveMigrationFixture, FreezeSpanMatchesStatsAndTraceExports) {
+  // Acceptance criterion for the observability layer: a live migration yields
+  // a Perfetto-loadable trace whose mig.freeze span equals MigStats exactly —
+  // the stats are *derived from* the span, so drift is impossible by
+  // construction, and this test pins that property.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.clear();
+
+  dve::ZoneServerConfig zs;
+  zs.zone = 5;
+  zs.db_addr = bed->db_node()->local_addr();
+  auto proc = dve::ZoneServerApp::launch(bed->node(0).node, zs);
+  bed->run_for(SimTime::seconds(1));
+  const MigrationStats stats =
+      migrate(proc->pid(), 0, 1, SocketMigStrategy::incremental_collective);
+  ASSERT_TRUE(stats.success);
+
+  const obs::Span* freeze = tracer.last_completed("mig.freeze");
+  ASSERT_NE(freeze, nullptr);
+  EXPECT_EQ(freeze->duration_ns(), stats.freeze_time().ns);  // exact, not approx
+  EXPECT_EQ(freeze->t_begin_ns, stats.t_freeze_begin.ns);
+  EXPECT_EQ(freeze->t_end_ns, stats.t_resume.ns);
+
+  // The whole phase tree completed, on both the source and destination tracks.
+  for (const char* name : {"mig.total", "mig.precopy", "mig.precopy_round",
+                           "mig.capture_arm", "mig.final_transfer", "mig.restore"}) {
+    EXPECT_NE(tracer.last_completed(name), nullptr) << name;
+  }
+  EXPECT_EQ(tracer.open_count(), 0u);
+
+  const std::string trace = tracer.chrome_trace_json();
+  std::string err;
+  EXPECT_TRUE(testutil::JsonLint::valid(trace, &err)) << err;
+  EXPECT_NE(trace.find("\"name\":\"mig.freeze\""), std::string::npos);
+  EXPECT_NE(trace.find("/migd.src"), std::string::npos);
+  EXPECT_NE(trace.find("/migd.dst"), std::string::npos);
+  tracer.clear();
 }
 
 }  // namespace

@@ -1,0 +1,374 @@
+// Observability layer tests: metrics registry (bucketing, reset, JSON), span
+// tracer (nesting, eviction, Chrome trace export), the machine-parsable log
+// format with sim-time prefixes, bench reports, and the PacketTracer edge
+// cases (set_filter, format, the one-shot cap warning + metrics surface).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "json_lint.hpp"
+#include "src/common/log.hpp"
+#include "src/common/sim_clock.hpp"
+#include "src/net/packet.hpp"
+#include "src/net/switch.hpp"
+#include "src/obs/bench_report.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/span.hpp"
+#include "src/sim/engine.hpp"
+#include "src/stack/tracer.hpp"
+#include "src/stack/udp_socket.hpp"
+
+namespace dvemig {
+namespace {
+
+using testutil::JsonLint;
+
+// ==================================================================== metrics
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("x.count");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  reg.gauge("x.level").set(2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("x.level").value(), 2.5);
+  // Find-or-create returns the same object.
+  EXPECT_EQ(&reg.counter("x.count"), &c);
+  EXPECT_EQ(reg.find_counter("nope"), nullptr);
+}
+
+TEST(Metrics, HistogramBucketing) {
+  obs::Histogram h({10, 20, 50});
+  // Bucket i counts bounds[i-1] < v <= bounds[i]; the last bucket is overflow.
+  h.record(3);     // <= 10
+  h.record(10);    // <= 10 (boundary is inclusive)
+  h.record(10.5);  // <= 20
+  h.record(50);    // <= 50
+  h.record(51);    // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 3);
+  EXPECT_DOUBLE_EQ(h.max(), 51);
+  EXPECT_DOUBLE_EQ(h.sum(), 3 + 10 + 10.5 + 50 + 51);
+  // Non-finite values are ignored, not mis-bucketed.
+  h.record(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(Metrics, ResetZeroesButKeepsReferences) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("keep.me");
+  obs::Histogram& h = reg.histogram("keep.hist", {1, 2});
+  c.add(7);
+  h.record(1.5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);  // same object, zeroed
+  EXPECT_EQ(h.count(), 0u);
+  c.add(1);
+  EXPECT_EQ(reg.counter("keep.me").value(), 1u);
+}
+
+TEST(Metrics, JsonSnapshotIsValidJson) {
+  obs::Registry reg;
+  reg.counter("a.count").add(3);
+  reg.gauge("b.level").set(-1.25);
+  reg.histogram("c.lat_us", {10, 100}).record(42);
+  const std::string doc = reg.json();
+  std::string err;
+  EXPECT_TRUE(JsonLint::valid(doc, &err)) << err << "\n" << doc;
+  EXPECT_NE(doc.find("\"a.count\": 3"), std::string::npos);
+  EXPECT_NE(doc.find("\"le\": null"), std::string::npos);  // overflow bucket
+}
+
+// ===================================================================== spans
+
+TEST(Spans, NestingDepthsAndDurations) {
+  sim::Engine engine;  // publishes the SimClock the tracer reads
+  obs::Tracer tracer;
+  const std::uint32_t track = tracer.track("node1/migd");
+
+  const obs::SpanId outer = tracer.begin(track, "mig.total");
+  engine.run_until(SimTime::milliseconds(10));
+  const obs::SpanId inner = tracer.begin(track, "mig.freeze");
+  EXPECT_EQ(tracer.find(outer)->depth, 0u);
+  EXPECT_EQ(tracer.find(inner)->depth, 1u);
+
+  engine.run_until(SimTime::milliseconds(25));
+  tracer.end(inner);
+  tracer.end(outer);
+  EXPECT_EQ(tracer.open_count(), 0u);
+  EXPECT_EQ(tracer.completed_count(), 2u);
+
+  const obs::Span* freeze = tracer.last_completed("mig.freeze");
+  ASSERT_NE(freeze, nullptr);
+  EXPECT_EQ(freeze->t_begin_ns, SimTime::milliseconds(10).ns);
+  EXPECT_EQ(freeze->duration_ns(), SimTime::milliseconds(15).ns);
+  EXPECT_EQ(tracer.last_completed("mig.total")->duration_ns(),
+            SimTime::milliseconds(25).ns);
+}
+
+TEST(Spans, EndAtUsesRemoteTimestampExactly) {
+  sim::Engine engine;
+  obs::Tracer tracer;
+  const std::uint32_t track = tracer.track("t");
+  engine.run_until(SimTime::milliseconds(1));
+  const obs::SpanId id = tracer.begin(track, "mig.freeze");
+  // The destination reported its resume at t=21ms on the shared timeline.
+  tracer.end_at(id, SimTime::milliseconds(21).ns);
+  EXPECT_EQ(tracer.last_completed("mig.freeze")->duration_ns(),
+            SimTime::milliseconds(20).ns);
+}
+
+TEST(Spans, AttrsAttachOnlyWhileOpen) {
+  obs::Tracer tracer;
+  const std::uint32_t track = tracer.track("t");
+  const obs::SpanId id = tracer.begin(track, "s");
+  tracer.attr(id, "pid", "42");
+  tracer.end(id);
+  tracer.attr(id, "late", "ignored");
+  const obs::Span* s = tracer.last_completed("s");
+  ASSERT_EQ(s->attrs.size(), 1u);
+  EXPECT_EQ(s->attrs[0].first, "pid");
+  EXPECT_EQ(s->attrs[0].second, "42");
+}
+
+TEST(Spans, RingEvictsCompletedButNeverOpenSpans) {
+  obs::Tracer tracer(/*capacity=*/4);
+  const std::uint32_t track = tracer.track("t");
+  const obs::SpanId held = tracer.begin(track, "held.open");
+  for (int i = 0; i < 10; ++i) {
+    tracer.end(tracer.begin(track, "filler"));
+  }
+  EXPECT_EQ(tracer.completed_count(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  ASSERT_NE(tracer.find(held), nullptr);  // open span survived the churn
+  EXPECT_TRUE(tracer.find(held)->open());
+  tracer.end(held);
+}
+
+TEST(Spans, ChromeTraceJsonIsValidAndComplete) {
+  sim::Engine engine;
+  obs::Tracer tracer;
+  const std::uint32_t track = tracer.track("node1/migd");
+  engine.run_until(SimTime::microseconds(1500));
+  const obs::SpanId a = tracer.begin(track, "mig.total");
+  tracer.attr(a, "strategy", "incremental-collective");
+  engine.run_until(SimTime::microseconds(2500));
+  tracer.end(a);
+  const obs::SpanId open = tracer.begin(track, "still.open");
+  (void)open;
+
+  const std::string doc = tracer.chrome_trace_json();
+  std::string err;
+  ASSERT_TRUE(JsonLint::valid(doc, &err)) << err << "\n" << doc;
+  // "X" complete event with µs timestamps; "B" for the open span; "M" metadata
+  // naming the track.
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"mig.total\""), std::string::npos);
+  EXPECT_NE(doc.find("node1/migd"), std::string::npos);
+  EXPECT_NE(doc.find("\"ts\":1500.000"), std::string::npos);
+  EXPECT_NE(doc.find("\"dur\":1000.000"), std::string::npos);
+  EXPECT_NE(doc.find("\"strategy\":\"incremental-collective\""),
+            std::string::npos);
+}
+
+TEST(Spans, TimelineTextIndentsByDepth) {
+  sim::Engine engine;
+  obs::Tracer tracer;
+  const std::uint32_t track = tracer.track("t");
+  const obs::SpanId outer = tracer.begin(track, "outer");
+  const obs::SpanId inner = tracer.begin(track, "inner");
+  tracer.end(inner);
+  tracer.end(outer);
+  const std::string text = tracer.timeline_text();
+  EXPECT_NE(text.find("outer"), std::string::npos);
+  EXPECT_NE(text.find("  inner"), std::string::npos);
+}
+
+TEST(Spans, ScopedSpanMacro) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.clear();
+  const std::uint32_t track = tracer.track("macro");
+  {
+    OBS_SPAN(track, "scoped.work");
+    EXPECT_EQ(tracer.open_count(), 1u);
+  }
+  EXPECT_EQ(tracer.open_count(), 0u);
+  EXPECT_NE(tracer.last_completed("scoped.work"), nullptr);
+  tracer.clear();
+}
+
+// ======================================================================= log
+
+struct LogSinkCapture {
+  std::vector<std::string> lines;
+  LogSinkCapture() {
+    Log::set_sink([this](const std::string& line) { lines.push_back(line); });
+  }
+  ~LogSinkCapture() { Log::set_sink(nullptr); }
+};
+
+TEST(LogFormat, MachineParsableWithSimTime) {
+  sim::Engine engine;
+  engine.run_until(SimTime::milliseconds(1500));
+  LogSinkCapture sink;
+  Log::write(LogLevel::info, "zone", "client %d joined", 7);
+  ASSERT_EQ(sink.lines.size(), 1u);
+  EXPECT_EQ(sink.lines[0], "INFO|1.500000|zone|client 7 joined");
+}
+
+TEST(LogFormat, DashWhenNoEngineAlive) {
+  {
+    sim::Engine engine;  // publish + retract so no provider remains
+  }
+  ASSERT_FALSE(SimClock::available());
+  LogSinkCapture sink;
+  Log::write(LogLevel::error, "boot", "no engine yet");
+  ASSERT_EQ(sink.lines.size(), 1u);
+  EXPECT_EQ(sink.lines[0], "ERROR|-|boot|no engine yet");
+}
+
+TEST(LogFormat, NewestEngineOwnsTheClock) {
+  sim::Engine outer;
+  outer.run_until(SimTime::seconds(5));
+  {
+    sim::Engine inner;
+    inner.run_until(SimTime::seconds(1));
+    EXPECT_EQ(SimClock::now_ns(), SimTime::seconds(1).ns);
+  }
+  // Destroying the newer engine must not leave a dangling provider; the
+  // conservative rule is "no clock" rather than "stale clock".
+  EXPECT_FALSE(SimClock::available());
+}
+
+// ================================================================ bench report
+
+TEST(BenchReport, JsonValidAndCarriesStandardKeys) {
+  obs::BenchReport report("unit_test");
+  report.result("freeze_ms", 12.5);
+  report.note("strategy", "collective");
+  report.add_standard_metrics();
+  const std::string doc = report.json();
+  std::string err;
+  EXPECT_TRUE(JsonLint::valid(doc, &err)) << err << "\n" << doc;
+  EXPECT_NE(doc.find("\"bench\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(doc.find("\"freeze_time_ms\""), std::string::npos);
+  EXPECT_NE(doc.find("\"freeze_bytes\""), std::string::npos);
+  EXPECT_NE(doc.find("\"packet_delay_ms\""), std::string::npos);
+  EXPECT_NE(doc.find("\"strategy\": \"collective\""), std::string::npos);
+}
+
+// ============================================================== packet tracer
+
+const net::Ipv4Addr kAddrA = net::Ipv4Addr::octets(10, 0, 0, 1);
+const net::Ipv4Addr kAddrB = net::Ipv4Addr::octets(10, 0, 0, 2);
+
+struct TwoHosts {
+  sim::Engine engine;
+  net::Switch sw{engine, net::LinkConfig{}};
+  stack::NetStack a{engine, "hostA", SimTime::seconds(1)};
+  stack::NetStack b{engine, "hostB", SimTime::seconds(2)};
+
+  TwoHosts() {
+    a.add_interface(kAddrA,
+                    sw.attach(kAddrA, [this](net::Packet p) { a.rx(std::move(p)); }));
+    b.add_interface(kAddrB,
+                    sw.attach(kAddrB, [this](net::Packet p) { b.rx(std::move(p)); }));
+  }
+};
+
+TEST(PacketTracerEdge, FormatZeroLengthUdp) {
+  stack::PacketTracer::Record rec;
+  rec.t = SimTime::milliseconds(2);
+  rec.dir = stack::PacketTracer::Direction::out;
+  rec.packet = net::make_udp(net::Endpoint{kAddrA, 27960},
+                             net::Endpoint{kAddrB, 49907}, Buffer{});
+  const std::string line = stack::PacketTracer::format(rec);
+  EXPECT_EQ(line, "   0.002000 OUT UDP 10.0.0.1:27960 > 10.0.0.2:49907 len 0");
+}
+
+TEST(PacketTracerEdge, FormatTcpCarriesFlagsAndSeq) {
+  net::TcpHeader hdr;
+  hdr.sport = 80;
+  hdr.dport = 5555;
+  hdr.seq = 1234;
+  hdr.flags = net::tcp_flags::syn | net::tcp_flags::ack;
+  stack::PacketTracer::Record rec;
+  rec.t = SimTime::seconds(1);
+  rec.dir = stack::PacketTracer::Direction::in;
+  rec.packet = net::make_tcp(net::Endpoint{kAddrB, 80}, net::Endpoint{kAddrA, 5555},
+                             hdr, Buffer{});
+  const std::string line = stack::PacketTracer::format(rec);
+  EXPECT_EQ(line,
+            "   1.000000 IN  TCP 10.0.0.2:80 > 10.0.0.1:5555 len 0 [S.] seq 1234");
+}
+
+TEST(PacketTracerEdge, SetFilterCanBeReplacedAndCleared) {
+  TwoHosts h;
+  stack::PacketTracer tracer(h.b);
+  auto s1 = h.b.make_udp();
+  s1->bind(kAddrB, 5000);
+  auto s2 = h.b.make_udp();
+  s2->bind(kAddrB, 6000);
+  auto client = h.a.make_udp();
+
+  tracer.set_filter([](const net::Packet& p) { return p.dport() == 5000; });
+  client->send_to(net::Endpoint{kAddrB, 5000}, Buffer{1});
+  client->send_to(net::Endpoint{kAddrB, 6000}, Buffer{2});
+  h.engine.run();
+  EXPECT_EQ(tracer.records().size(), 1u);
+
+  tracer.set_filter([](const net::Packet& p) { return p.dport() == 6000; });
+  client->send_to(net::Endpoint{kAddrB, 5000}, Buffer{3});
+  client->send_to(net::Endpoint{kAddrB, 6000}, Buffer{4});
+  h.engine.run();
+  EXPECT_EQ(tracer.records().size(), 2u);
+  EXPECT_EQ(tracer.records().back().packet.dport(), 6000);
+
+  tracer.set_filter(nullptr);  // back to capture-everything
+  client->send_to(net::Endpoint{kAddrB, 5000}, Buffer{5});
+  client->send_to(net::Endpoint{kAddrB, 6000}, Buffer{6});
+  h.engine.run();
+  EXPECT_EQ(tracer.records().size(), 4u);
+}
+
+TEST(PacketTracerCap, WarnsOnceAndSurfacesDropCountInMetrics) {
+  TwoHosts h;
+  const std::uint64_t dropped_before =
+      obs::Registry::instance().counter("tracer.dropped_by_cap").value();
+  stack::PacketTracer tracer(h.b, /*max_records=*/2);
+  auto server = h.b.make_udp();
+  server->bind(kAddrB, 5000);
+  auto client = h.a.make_udp();
+
+  LogSinkCapture sink;
+  for (int i = 0; i < 6; ++i) {
+    client->send_to(net::Endpoint{kAddrB, 5000}, Buffer{1});
+  }
+  h.engine.run();
+
+  EXPECT_EQ(tracer.records().size(), 2u);
+  EXPECT_EQ(tracer.dropped_by_cap(), 4u);
+  // The registry mirrors the per-tracer count, so CI metric snapshots show it.
+  EXPECT_EQ(
+      obs::Registry::instance().counter("tracer.dropped_by_cap").value(),
+      dropped_before + 4);
+  // Exactly one warning for the whole overflow, at the first dropped packet.
+  std::size_t warnings = 0;
+  for (const std::string& line : sink.lines) {
+    if (line.find("packet trace full") != std::string::npos) warnings += 1;
+  }
+  EXPECT_EQ(warnings, 1u);
+}
+
+}  // namespace
+}  // namespace dvemig

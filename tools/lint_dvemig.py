@@ -29,6 +29,14 @@ hash-pairing
     lives in migd.cpp, both in src/mig. The tables' own implementation and
     tests (which corrupt tables on purpose) are exempt.
 
+phase-span
+    In ``src/mig/``, every write to a migration phase enum (``phase_ =
+    Phase::...``) must sit within 3 lines of a span operation (``OBS_SPAN``, a
+    ``Tracer::begin``/``end`` via ``tracer()``, or a stored ``span*`` handle).
+    The phase enum and the span tree are two views of the same state machine;
+    a phase transition without the matching trace span silently disappears
+    from the Chrome-trace/Perfetto timeline the benches and CI archive.
+
 Exit status is nonzero if any violation is found. Usage:
     tools/lint_dvemig.py [--root REPO_ROOT] [file ...]
 With no files, lints every .cpp/.hpp under src/.
@@ -59,8 +67,13 @@ RE_LEN_READ = re.compile(
 )
 RE_PAIRS = [("ehash_insert", "ehash_remove"), ("bhash_insert", "bhash_remove")]
 
+RE_PHASE_WRITE = re.compile(r"\bphase_?\s*=\s*(?:\w+::)*Phase::\w+")
+RE_SPAN_OP = re.compile(r"OBS_SPAN|[Ss]pan|tracer\s*\(\)|obs::")
+
 # How far (in lines) an allocation may sit from the length read it consumes.
 SCAN_WINDOW = 40
+# How far (in lines) a span operation may sit from the phase write it mirrors.
+PHASE_SPAN_WINDOW = 3
 
 
 def strip_noise(line: str) -> str:
@@ -130,6 +143,20 @@ def lint_file(
                         "check (DVEMIG_EXPECTS / cap comparison) first"
                     )
                 break
+
+    # --- phase-span ---
+    if rel.startswith("src/mig/"):
+        for i, line in enumerate(lines, 1):
+            if not RE_PHASE_WRITE.search(line):
+                continue
+            lo = max(0, i - 1 - PHASE_SPAN_WINDOW)
+            hi = min(len(lines), i + PHASE_SPAN_WINDOW)
+            if not any(RE_SPAN_OP.search(l) for l in lines[lo:hi]):
+                problems.append(
+                    f"{rel}:{i}: [phase-span] phase transition without an "
+                    "adjacent span begin/end — keep the trace timeline and "
+                    "the phase enum in lockstep (see src/obs/span.hpp)"
+                )
 
     # --- hash-pairing (collected per file, judged per module in main) ---
     if not rel.startswith("tests/"):
