@@ -1,0 +1,88 @@
+#include "src/mc/decision.hpp"
+
+#include <sstream>
+
+#include "src/common/assert.hpp"
+
+namespace dvemig::mc {
+
+std::uint64_t DecisionSource::next_rand() {
+  // splitmix64: tiny, deterministic, good enough for schedule sampling. Not
+  // std::mt19937 so the sequence is pinned across standard libraries.
+  rng_ += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = rng_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint32_t DecisionSource::choose(const char* site, std::uint32_t options,
+                                     std::uint64_t state_hash) {
+  DVEMIG_EXPECTS(options >= 1);
+  const std::size_t idx = trace_.size();
+  std::uint32_t chosen = 0;
+  if (idx < prefix_.size()) {
+    // A prescribed choice can exceed the option count if the prefix came from
+    // a run whose schedule diverged (shouldn't happen with a stable world, but
+    // a stale script must not crash the replayer).
+    chosen = prefix_[idx] < options ? prefix_[idx] : options - 1;
+  } else if (tail_ == Tail::random) {
+    chosen = static_cast<std::uint32_t>(next_rand() % options);
+  }
+  trace_.push_back(Decision{site, chosen, options, state_hash});
+  return chosen;
+}
+
+std::string Script::to_text() const {
+  std::ostringstream out;
+  out << "# dvemig-mc repro script\n";
+  out << "preset " << preset << "\n";
+  out << "tail " << tail << "\n";
+  out << "seed " << seed << "\n";
+  out << "mutation " << mutation << "\n";
+  out << "choices";
+  for (const std::uint32_t c : choices) out << " " << c;
+  out << "\n";
+  return out.str();
+}
+
+std::optional<Script> Script::parse(const std::string& text,
+                                    std::string* error) {
+  Script s;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_preset = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "preset") {
+      ls >> s.preset;
+      saw_preset = true;
+    } else if (key == "tail") {
+      ls >> s.tail;
+    } else if (key == "seed") {
+      ls >> s.seed;
+    } else if (key == "mutation") {
+      ls >> s.mutation;
+    } else if (key == "choices") {
+      std::uint32_t c = 0;
+      while (ls >> c) s.choices.push_back(c);
+    } else {
+      if (error) *error = "unknown key: " + key;
+      return std::nullopt;
+    }
+  }
+  if (!saw_preset) {
+    if (error) *error = "missing 'preset' line";
+    return std::nullopt;
+  }
+  if (s.tail != "zeros" && s.tail != "random") {
+    if (error) *error = "tail must be 'zeros' or 'random'";
+    return std::nullopt;
+  }
+  return s;
+}
+
+}  // namespace dvemig::mc

@@ -1,0 +1,72 @@
+// Decision plumbing for the dvemig-mc model checker.
+//
+// A model-checking run is an ordinary deterministic simulation in which every
+// nondeterministic point — which ready event fires next, whether a frame or
+// packet suffers a fault — asks a DecisionSource instead of using the default.
+// The source replays a prescribed *choice prefix* and then falls back to a tail
+// policy (always-0 for DFS, a seeded PRNG for random walks). Because the
+// simulation itself is deterministic, (prefix, tail, seed) fully identifies a
+// run: the explorer enumerates runs by enumerating prefixes, and a violating
+// run is reproduced by replaying its prefix — that is all a repro script is.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dvemig::mc {
+
+/// One decision taken during a run: at site `site` (a stable label such as
+/// "sched" or "frame:capture_request"), `options` alternatives were available
+/// and `chosen` was taken while the world's protocol-state hash was `state`.
+struct Decision {
+  std::string site;
+  std::uint32_t chosen{0};
+  std::uint32_t options{1};
+  std::uint64_t state{0};
+};
+
+/// Deterministic choice provider for one run.
+class DecisionSource {
+ public:
+  enum class Tail : std::uint8_t {
+    zeros,   // past the prefix, always take option 0 (the untouched schedule)
+    random,  // past the prefix, draw from a seeded PRNG
+  };
+
+  DecisionSource(std::vector<std::uint32_t> prefix, Tail tail,
+                 std::uint64_t seed)
+      : prefix_(std::move(prefix)), tail_(tail), rng_(seed) {}
+
+  std::uint32_t choose(const char* site, std::uint32_t options,
+                       std::uint64_t state_hash);
+
+  const std::vector<Decision>& trace() const { return trace_; }
+  std::size_t prefix_size() const { return prefix_.size(); }
+
+ private:
+  std::uint64_t next_rand();
+
+  std::vector<std::uint32_t> prefix_;
+  Tail tail_;
+  std::uint64_t rng_;
+  std::vector<Decision> trace_;
+};
+
+/// A minimized-trace repro script: everything needed to replay one run.
+/// Serialized as a line-oriented text file so tests can embed them as string
+/// literals and `dvemig-mc --replay` can read them back.
+struct Script {
+  std::string preset{"handshake"};
+  std::string tail{"zeros"};  // "zeros" | "random"
+  std::uint64_t seed{0};
+  std::string mutation{"none"};
+  std::vector<std::uint32_t> choices;
+
+  std::string to_text() const;
+  static std::optional<Script> parse(const std::string& text,
+                                     std::string* error = nullptr);
+};
+
+}  // namespace dvemig::mc

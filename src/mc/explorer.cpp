@@ -1,0 +1,150 @@
+#include "src/mc/explorer.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/assert.hpp"
+
+namespace dvemig::mc {
+
+Explorer::Explorer(ExploreConfig cfg) : cfg_(std::move(cfg)) {
+  DVEMIG_EXPECTS(preset_known(cfg_.preset));
+}
+
+RunResult Explorer::execute(const std::vector<std::uint32_t>& prefix,
+                            DecisionSource::Tail tail, std::uint64_t seed) {
+  DecisionSource ds(prefix, tail, seed);
+  return run_scenario(cfg_.preset, cfg_.mutation, ds);
+}
+
+void Explorer::minimize(std::vector<std::uint32_t> prefix,
+                        ExploreResult& result) {
+  auto drop_trailing_zeros = [](std::vector<std::uint32_t>& p) {
+    while (!p.empty() && p.back() == 0) p.pop_back();
+  };
+  // A zeros-tail run is unchanged by shortening its prefix across trailing
+  // zeros, so that shrink needs no re-run; zeroing an interior choice does.
+  drop_trailing_zeros(prefix);
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (prefix[i] == 0) continue;
+    std::vector<std::uint32_t> candidate = prefix;
+    candidate[i] = 0;
+    const RunResult probe =
+        execute(candidate, DecisionSource::Tail::zeros, 0);
+    result.runs += 1;
+    if (!probe.clean()) {
+      prefix = std::move(candidate);
+      result.first_violation = probe;
+    }
+  }
+  drop_trailing_zeros(prefix);
+  result.repro.preset = cfg_.preset;
+  result.repro.tail = "zeros";
+  result.repro.seed = 0;
+  result.repro.mutation = mutation_name(cfg_.mutation);
+  result.repro.choices = std::move(prefix);
+}
+
+ExploreResult Explorer::dfs() {
+  ExploreResult result;
+  std::unordered_set<std::uint64_t> visited;
+  std::vector<std::vector<std::uint32_t>> frontier;
+  frontier.push_back({});
+
+  while (!frontier.empty() && result.runs < cfg_.max_states) {
+    const std::vector<std::uint32_t> prefix = std::move(frontier.back());
+    frontier.pop_back();
+
+    const RunResult run = execute(prefix, DecisionSource::Tail::zeros, 0);
+    result.runs += 1;
+    result.max_trace_len = std::max(result.max_trace_len, run.trace.size());
+
+    if (!run.clean()) {
+      result.violating_runs += 1;
+      if (!result.has_violation) {
+        result.has_violation = true;
+        result.first_violation = run;
+        minimize(prefix, result);
+        if (cfg_.stop_on_violation) break;
+      }
+    }
+
+    // Expand the untaken branches of every decision beyond the prescribed
+    // prefix — unless the protocol state at that decision was already visited
+    // (its subtree has been explored from an equivalent state) or the decision
+    // index exceeds the depth bound. Reverse order keeps the frontier LIFO-
+    // ordered so low branch indices are explored first.
+    std::vector<std::vector<std::uint32_t>> expansions;
+    for (std::size_t i = prefix.size(); i < run.trace.size(); ++i) {
+      const Decision& d = run.trace[i];
+      if (d.options <= 1) continue;
+      if (i >= cfg_.max_depth) {
+        result.pruned_depth += 1;
+        continue;
+      }
+      if (visited.count(d.state) != 0) {
+        result.pruned_visited += 1;
+        continue;
+      }
+      std::vector<std::uint32_t> branch;
+      branch.reserve(i + 1);
+      for (std::size_t j = 0; j < i; ++j) branch.push_back(run.trace[j].chosen);
+      for (std::uint32_t c = 1; c < d.options; ++c) {
+        branch.push_back(c);
+        expansions.push_back(branch);
+        branch.pop_back();
+      }
+    }
+    for (auto it = expansions.rbegin(); it != expansions.rend(); ++it) {
+      frontier.push_back(std::move(*it));
+    }
+    for (const Decision& d : run.trace) visited.insert(d.state);
+  }
+
+  result.distinct_states = visited.size();
+  result.exhausted = frontier.empty() &&
+                     !(result.has_violation && cfg_.stop_on_violation);
+  return result;
+}
+
+ExploreResult Explorer::random_walk() {
+  ExploreResult result;
+  std::unordered_set<std::uint64_t> visited;
+  for (std::size_t k = 0;
+       k < cfg_.random_runs && result.runs < cfg_.max_states; ++k) {
+    const std::uint64_t seed = cfg_.seed + k;
+    const RunResult run = execute({}, DecisionSource::Tail::random, seed);
+    result.runs += 1;
+    result.max_trace_len = std::max(result.max_trace_len, run.trace.size());
+    for (const Decision& d : run.trace) visited.insert(d.state);
+    if (!run.clean()) {
+      result.violating_runs += 1;
+      if (!result.has_violation) {
+        result.has_violation = true;
+        result.first_violation = run;
+        // A random walk is reproduced by prescribing its full choice vector,
+        // after which minimization proceeds exactly as for DFS.
+        std::vector<std::uint32_t> prefix;
+        prefix.reserve(run.trace.size());
+        for (const Decision& d : run.trace) prefix.push_back(d.chosen);
+        minimize(std::move(prefix), result);
+        if (cfg_.stop_on_violation) break;
+      }
+    }
+  }
+  result.distinct_states = visited.size();
+  return result;
+}
+
+RunResult replay_script(const Script& script) {
+  DVEMIG_EXPECTS(preset_known(script.preset));
+  const auto mutation = mutation_from_name(script.mutation);
+  DVEMIG_EXPECTS(mutation.has_value());
+  const auto tail = script.tail == "random" ? DecisionSource::Tail::random
+                                            : DecisionSource::Tail::zeros;
+  DecisionSource ds(script.choices, tail, script.seed);
+  return run_scenario(script.preset, *mutation, ds);
+}
+
+}  // namespace dvemig::mc

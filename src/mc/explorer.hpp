@@ -1,0 +1,78 @@
+// Exhaustive small-scope exploration driver for dvemig-mc.
+//
+// Stateless model checking in the dBug/MoDist style: a run is fully identified
+// by its decision vector, so the explorer enumerates runs by enumerating
+// choice *prefixes* (the tail is the all-zeros default schedule). DFS expands
+// every non-prefix decision point of a finished run into its untaken branches,
+// pruned by
+//   - a visited set keyed on the protocol-state hash at the decision point
+//     (two interleavings that reach the same protocol state explore the same
+//     subtree — expanding it once suffices), and
+//   - an absolute decision-index depth bound (small-scope hypothesis: protocol
+//     bugs show up within a handful of deviations from the happy path).
+// A seeded random-walk mode samples deep interleavings the DFS bound excludes.
+//
+// The first violating run is shrunk to a minimal prescribed prefix (drop
+// trailing zeros, then greedily zero every remaining choice, re-running after
+// each step) and emitted as a Script that `dvemig-mc --replay` and the
+// regression tests replay verbatim.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/mc/decision.hpp"
+#include "src/mc/scenario.hpp"
+
+namespace dvemig::mc {
+
+struct ExploreConfig {
+  std::string preset{"handshake"};
+  mig::ProtocolMutation mutation{mig::ProtocolMutation::none};
+  /// Cap on scenario executions (runs ≈ explored schedule states).
+  std::size_t max_states{20000};
+  /// Absolute decision-index bound for DFS branch expansion.
+  std::size_t max_depth{48};
+  /// Random-walk mode: base seed and number of walks.
+  std::uint64_t seed{1};
+  std::size_t random_runs{200};
+  /// Stop at the first violating run (and minimize it).
+  bool stop_on_violation{true};
+};
+
+struct ExploreResult {
+  std::size_t runs{0};
+  std::size_t violating_runs{0};
+  std::size_t distinct_states{0};  // visited protocol-state hashes
+  std::size_t pruned_visited{0};   // branch points skipped: state already seen
+  std::size_t pruned_depth{0};     // branch points skipped: beyond max_depth
+  std::size_t max_trace_len{0};
+  /// DFS only: the frontier drained before max_states was hit.
+  bool exhausted{false};
+  bool has_violation{false};
+  RunResult first_violation;  // meaningful when has_violation
+  Script repro;               // minimized, replays first_violation's failure
+};
+
+class Explorer {
+ public:
+  explicit Explorer(ExploreConfig cfg);
+
+  /// Exhaustive DFS over choice prefixes from the empty prefix.
+  ExploreResult dfs();
+  /// `random_runs` independent seeded walks (seed, seed+1, ...).
+  ExploreResult random_walk();
+
+ private:
+  RunResult execute(const std::vector<std::uint32_t>& prefix,
+                    DecisionSource::Tail tail, std::uint64_t seed);
+  /// Shrink a violating zeros-tail prefix; fills result.repro.
+  void minimize(std::vector<std::uint32_t> prefix, ExploreResult& result);
+
+  ExploreConfig cfg_;
+};
+
+/// Replay a repro script; returns the run's judgement.
+RunResult replay_script(const Script& script);
+
+}  // namespace dvemig::mc

@@ -1,0 +1,69 @@
+#include "src/mc/fault.hpp"
+
+#include <string>
+
+#include "src/common/assert.hpp"
+
+namespace dvemig::mc {
+
+FaultInjector::FaultInjector(FaultConfig cfg, DecisionSource& decisions,
+                             HashFn state_hash)
+    : cfg_(cfg), decisions_(&decisions), state_hash_(std::move(state_hash)) {
+  DVEMIG_EXPECTS(mig::FrameChannel::fault_hook() == nullptr);
+  DVEMIG_EXPECTS(net::Link::fault_hook() == nullptr);
+  mig::FrameChannel::set_fault_hook(this);
+  net::Link::set_fault_hook(this);
+}
+
+FaultInjector::~FaultInjector() {
+  mig::FrameChannel::set_fault_hook(nullptr);
+  net::Link::set_fault_hook(nullptr);
+}
+
+mig::FrameChannel::FaultAction FaultInjector::on_send(
+    const mig::FrameChannel& ch, mig::MsgType type, std::size_t payload_len) {
+  (void)ch;
+  (void)payload_len;
+  using Action = mig::FrameChannel::FaultAction;
+  if (!cfg_.frame_faults || injected_ >= cfg_.max_faults) return Action::pass;
+  const std::uint32_t options = cfg_.allow_kill ? 4 : 3;
+  const std::string site = std::string("frame:") + mig::msg_type_name(type);
+  const std::uint32_t c = decisions_->choose(site.c_str(), options, hash());
+  if (c == 0) return Action::pass;
+  injected_ += 1;
+  frame_injected_ += 1;
+  switch (c) {
+    case 1: return Action::drop;
+    case 2: return Action::duplicate;
+    default: return Action::kill;
+  }
+}
+
+net::Link::FaultVerdict FaultInjector::on_transmit(const net::Link& link,
+                                                   const net::Packet& p) {
+  (void)link;
+  net::Link::FaultVerdict v;
+  if (cfg_.dup_client_tcp_port != 0 && p.proto == net::IpProto::tcp &&
+      p.dport() == cfg_.dup_client_tcp_port) {
+    v.duplicate = true;
+  }
+  const bool migd_traffic =
+      p.proto == net::IpProto::tcp &&
+      (p.dport() == mig::kMigdPort || p.sport() == mig::kMigdPort);
+  if (!cfg_.link_faults || !migd_traffic || injected_ >= cfg_.max_faults) {
+    return v;
+  }
+  // pass / drop / duplicate / delay. TCP sits above this seam and repairs all
+  // three, so unlike frame faults these must never break the protocol.
+  const std::uint32_t c = decisions_->choose("link", 4, hash());
+  if (c == 0) return v;
+  injected_ += 1;
+  switch (c) {
+    case 1: v.drop = true; break;
+    case 2: v.duplicate = true; break;
+    default: v.extra_delay = cfg_.link_extra_delay; break;
+  }
+  return v;
+}
+
+}  // namespace dvemig::mc

@@ -1,0 +1,81 @@
+// FaultPlan layer: decision-driven fault injection for dvemig-mc.
+//
+// Two seams, both process-wide statics installed for the duration of one run:
+//
+//  - mig::FrameChannel::FaultHook — per protocol frame on the send side:
+//    drop (the peer never sees it), duplicate (framed twice), kill (the
+//    sending daemon "crashes": RST). Frame faults tear holes in the protocol
+//    stream itself, so runs that inject one legitimately trip the protocol-
+//    ordering checker; the scenario oracle accounts for that.
+//  - net::Link::FaultHook — per packet on the migd TCP connection: drop,
+//    duplicate, delay. These live *below* TCP, which repairs them; the
+//    protocol stream stays intact and every invariant must keep holding.
+//
+// Whether a given frame/packet suffers a fault is itself a decision from the
+// DecisionSource, so the explorer enumerates fault placements exactly like
+// schedule interleavings, under a shared `max_faults` budget per run.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "src/mc/decision.hpp"
+#include "src/mig/protocol.hpp"
+#include "src/net/link.hpp"
+
+namespace dvemig::mc {
+
+struct FaultConfig {
+  /// Choice-driven drop/duplicate/kill of individual migd protocol frames.
+  bool frame_faults{false};
+  /// Adds "kill" (daemon crash at this phase of the protocol) to the frame
+  /// fault options.
+  bool allow_kill{false};
+  /// Choice-driven drop/duplicate/delay of packets on the migd connection.
+  bool link_faults{false};
+  /// Total faults (frame + link) one run may inject. Keeps the search tree
+  /// tractable: past the budget, fault sites stop being decision points.
+  std::size_t max_faults{1};
+  /// Delivery delay applied by the link "delay" fault (reorders the packet
+  /// behind later traffic).
+  SimDuration link_extra_delay{SimTime::microseconds(200)};
+  /// Deterministically duplicate every client->server TCP packet on this port
+  /// (0 = off). Not a decision point and not counted against max_faults; this
+  /// exercises the capture dedup path (Section V-B) on every run of a scope.
+  net::Port dup_client_tcp_port{0};
+};
+
+class FaultInjector final : public mig::FrameChannel::FaultHook,
+                            public net::Link::FaultHook {
+ public:
+  using HashFn = std::function<std::uint64_t()>;
+
+  /// Installs both process-wide hooks; the destructor removes them. At most
+  /// one injector may exist at a time.
+  FaultInjector(FaultConfig cfg, DecisionSource& decisions, HashFn state_hash);
+  ~FaultInjector() override;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  mig::FrameChannel::FaultAction on_send(const mig::FrameChannel& ch,
+                                         mig::MsgType type,
+                                         std::size_t payload_len) override;
+  net::Link::FaultVerdict on_transmit(const net::Link& link,
+                                      const net::Packet& p) override;
+
+  std::size_t faults_injected() const { return injected_; }
+  /// Frame-level faults only (these are the ones that legitimately break the
+  /// protocol-ordering checker's expectations).
+  std::size_t frame_faults_injected() const { return frame_injected_; }
+
+ private:
+  std::uint64_t hash() const { return state_hash_ ? state_hash_() : 0; }
+
+  FaultConfig cfg_;
+  DecisionSource* decisions_;
+  HashFn state_hash_;
+  std::size_t injected_{0};
+  std::size_t frame_injected_{0};
+};
+
+}  // namespace dvemig::mc

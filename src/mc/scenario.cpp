@@ -1,0 +1,354 @@
+#include "src/mc/scenario.hpp"
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/check/verifier.hpp"
+#include "src/common/assert.hpp"
+#include "src/dve/game_server.hpp"
+#include "src/dve/testbed.hpp"
+#include "src/dve/zone_server.hpp"
+#include "src/mc/fault.hpp"
+#include "src/mig/migd.hpp"
+
+namespace dvemig::mc {
+namespace {
+
+struct PresetPlan {
+  bool tcp_workload{false};  // zone server + TCP client (else UDP game server)
+  bool live{false};          // precopy live migration vs stop-and-copy
+  FaultConfig faults{};
+  SimDuration choice_window{SimTime::microseconds(50)};
+  std::size_t max_ready{3};
+  bool expect_freeze_capture{false};
+};
+
+std::optional<PresetPlan> plan_for(const std::string& preset) {
+  PresetPlan p;
+  if (preset == "handshake") return p;
+  if (preset == "precopy") {
+    p.live = true;
+    return p;
+  }
+  if (preset == "freeze") {
+    p.tcp_workload = true;
+    p.faults.link_faults = true;
+    p.faults.max_faults = 1;
+    p.faults.dup_client_tcp_port = dve::zone_port(1);
+    p.expect_freeze_capture = true;
+    return p;
+  }
+  if (preset == "crash") {
+    p.faults.frame_faults = true;
+    p.faults.allow_kill = true;
+    p.faults.max_faults = 1;
+    // Fault placement is the branching axis here; schedule jitter would square
+    // the tree for little extra coverage.
+    p.choice_window = SimTime::zero();
+    p.max_ready = 1;
+    return p;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFFu;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+/// Protocol-state hash used for DFS visited-set pruning and trace annotation.
+/// Deliberately coarse: it digests the migration-relevant state (migd phases,
+/// sessions, capture books, process placement, socket-table shape), not packet
+/// payloads — two states that differ only in payload bytes are equivalent for
+/// exploring the protocol state machine.
+std::uint64_t world_hash(dve::Testbed& world) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::size_t i = 0; i < world.node_count(); ++i) {
+    auto& nb = world.node(i);
+    h = fnv1a(h, static_cast<std::uint64_t>(nb.migd.src_phase() + 1));
+    h = fnv1a(h, nb.migd.dest_session_count());
+    h = fnv1a(h, nb.migd.busy_sending() ? 1 : 0);
+    h = fnv1a(h, nb.migd.capture().active_sessions());
+    h = fnv1a(h, nb.migd.capture().total_specs());
+    h = fnv1a(h, nb.migd.capture().total_captured());
+    // Process *placement* and freeze-state matter; pid identity must not (pids
+    // come from a process-global counter, so hashing them would make every
+    // run's states look novel and defeat the explorer's visited-set pruning).
+    h = fnv1a(h, nb.node.processes().size());
+    for (const auto& [pid, proc] : nb.node.processes()) {
+      h = fnv1a(h, proc->frozen() ? 1 : 0);
+    }
+    h = fnv1a(h, nb.node.stack().table().ehash_size());
+    h = fnv1a(h, nb.node.stack().table().bhash_size());
+  }
+  return h;
+}
+
+}  // namespace
+
+const std::vector<std::string>& preset_names() {
+  static const std::vector<std::string> names{"handshake", "precopy", "freeze",
+                                              "crash"};
+  return names;
+}
+
+bool preset_known(const std::string& preset) {
+  return plan_for(preset).has_value();
+}
+
+const char* mutation_name(mig::ProtocolMutation m) {
+  switch (m) {
+    case mig::ProtocolMutation::none: return "none";
+    case mig::ProtocolMutation::skip_capture_dedup: return "skip_capture_dedup";
+    case mig::ProtocolMutation::skip_restore_rehash:
+      return "skip_restore_rehash";
+    case mig::ProtocolMutation::double_resume_done: return "double_resume_done";
+    case mig::ProtocolMutation::skip_capture_arm: return "skip_capture_arm";
+    case mig::ProtocolMutation::swap_image_endpoints:
+      return "swap_image_endpoints";
+  }
+  return "none";
+}
+
+std::optional<mig::ProtocolMutation> mutation_from_name(
+    const std::string& name) {
+  using M = mig::ProtocolMutation;
+  for (const M m : {M::none, M::skip_capture_dedup, M::skip_restore_rehash,
+                    M::double_resume_done, M::skip_capture_arm,
+                    M::swap_image_endpoints}) {
+    if (name == mutation_name(m)) return m;
+  }
+  return std::nullopt;
+}
+
+RunResult run_scenario(const std::string& preset, mig::ProtocolMutation mutation,
+                       DecisionSource& decisions) {
+  const std::optional<PresetPlan> plan = plan_for(preset);
+  DVEMIG_EXPECTS(plan.has_value());
+
+  RunResult r;
+
+  // Small-scope world: tiny images and short loop timeouts keep one run to a
+  // few thousand events so DFS can afford thousands of runs. The watchdog is
+  // what bounds runs where a fault eats a control frame.
+  mig::CostModel cm;
+  cm.initial_loop_timeout_ns = 4'000'000;
+  cm.freeze_threshold_ns = 1'000'000;
+  cm.max_precopy_rounds = 3;
+  cm.migration_watchdog_ns = 2'000'000'000;
+
+  dve::TestbedConfig tb;
+  tb.dve_nodes = 2;
+  tb.with_db = false;
+  tb.start_conductors = false;
+  tb.cost_model = cm;
+  dve::Testbed world(tb);
+
+  check::VerifierConfig vcfg;
+  vcfg.every_n_events = 4;
+  vcfg.abort_on_violation = false;
+  vcfg.max_recorded = 64;
+  check::Verifier verifier(world.engine(), vcfg);
+  for (std::size_t i = 0; i < world.node_count(); ++i) {
+    verifier.watch_stack(world.node(i).node.stack());
+    verifier.watch_capture(world.node(i).migd.capture());
+  }
+
+  dve::ClientHost& client_host = world.make_client_host();
+  verifier.watch_stack(client_host.stack());
+
+  std::shared_ptr<proc::Process> proc;
+  std::unique_ptr<dve::UdpGameClient> udp_client;
+  std::unique_ptr<dve::TcpDveClient> tcp_client;
+  std::function<std::uint64_t()> rx_count;
+
+  if (plan->tcp_workload) {
+    dve::ZoneServerConfig zs;
+    zs.zone = 1;
+    zs.tick = SimTime::milliseconds(20);
+    zs.update_bytes = 64;
+    zs.worker_threads = 1;
+    zs.active_updates = true;
+    zs.heap_bytes = 256ull << 10;
+    zs.code_bytes = 32ull << 10;
+    zs.libs_bytes = 32ull << 10;
+    zs.stack_bytes = 16ull << 10;
+    zs.pages_per_tick = 2;
+    zs.use_db = false;
+    proc = dve::ZoneServerApp::launch(world.node(0).node, zs);
+    tcp_client = std::make_unique<dve::TcpDveClient>(client_host,
+                                                     world.public_ip());
+    tcp_client->connect_to_zone(1);
+    // 1 ms sends guarantee in-flight client traffic inside any multi-ms freeze
+    // window (the freeze-capture property depends on this).
+    tcp_client->set_active(SimTime::milliseconds(1), 32);
+    rx_count = [&c = *tcp_client] { return c.updates_received(); };
+  } else {
+    dve::GameServerConfig gs;
+    gs.tick = SimTime::milliseconds(20);
+    gs.snapshot_bytes = 64;
+    gs.heap_bytes = 64ull << 10;
+    gs.code_bytes = 16ull << 10;
+    gs.pages_per_tick = 4;
+    proc = dve::GameServerApp::launch(world.node(0).node, gs);
+    udp_client = std::make_unique<dve::UdpGameClient>(
+        client_host, net::Endpoint{world.public_ip(), gs.port},
+        SimTime::milliseconds(20));
+    udp_client->start();
+    rx_count = [&c = *udp_client] {
+      return static_cast<std::uint64_t>(c.received().size());
+    };
+  }
+
+  // Deterministic warm-up: the client is connected and traffic is flowing
+  // before the first decision point exists, so the explored space is the
+  // migration itself, not connection establishment.
+  world.run_for(SimTime::milliseconds(300));
+
+  mig::set_mutation(mutation);
+  FaultInjector faults(plan->faults, decisions,
+                       [&world] { return world_hash(world); });
+  world.engine().set_choice_hook(
+      [&decisions, &world](std::size_t n) {
+        return static_cast<std::size_t>(decisions.choose(
+            "sched", static_cast<std::uint32_t>(n), world_hash(world)));
+      },
+      plan->choice_window, plan->max_ready);
+
+  bool done = false;
+  mig::MigrationStats stats;
+  mig::MigrateOptions opts;
+  opts.live = plan->live;
+  const Pid pid = proc->pid();
+  const bool started = world.node(0).migd.migrate(
+      pid, world.node(1).node.local_addr(), opts,
+      [&done, &stats](const mig::MigrationStats& s) {
+        done = true;
+        stats = s;
+      });
+  DVEMIG_EXPECTS(started);
+
+  const SimTime deadline = world.engine().now() + SimTime::seconds(3);
+  while (!done && world.engine().now() < deadline) {
+    world.run_for(SimTime::milliseconds(10));
+  }
+  // Decisions stop here: the grace window (teardown events, liveness probing)
+  // runs on the default deterministic schedule so it cannot enlarge the tree.
+  world.engine().set_choice_hook({});
+  const std::uint64_t rx_at_done = rx_count();
+  world.run_for(SimTime::milliseconds(400));
+  mig::set_mutation(mig::ProtocolMutation::none);
+
+  r.migration_done = done;
+  r.success = done && stats.success;
+  r.captured = stats.captured;
+  r.reinjected = stats.reinjected;
+  r.faults_injected = faults.faults_injected();
+  r.frame_faults_injected = faults.frame_faults_injected();
+  r.events = world.engine().events_fired();
+  r.final_state_hash = world_hash(world);
+
+  auto viol = [&r](const char* rule, const std::string& detail) {
+    r.violations.push_back(std::string(rule) + ": " + detail);
+  };
+
+  if (!done) {
+    viol("prop.no-termination",
+         "migration neither completed nor failed within the run bound");
+  }
+
+  // Exactly-once restore: the process must exist on exactly one node — the
+  // destination after success, the source after a cleanly-aborted run. When a
+  // frame fault may have eaten the resume_done commit ack, source and
+  // destination can legitimately disagree (lost-commit-ack hazard, DESIGN.md
+  // §9), so both-alive is tolerated there; losing the process never is.
+  const bool on_src = world.node(0).node.find(pid) != nullptr;
+  const bool on_dst = world.node(1).node.find(pid) != nullptr;
+  if (!on_src && !on_dst) {
+    viol("prop.process-lost", "migrated pid exists on no node");
+  } else if (r.success && (!on_dst || on_src)) {
+    viol("prop.exactly-once",
+         "successful migration must leave the process on the destination only");
+  } else if (done && !r.success && r.frame_faults_injected == 0 &&
+             (!on_src || on_dst)) {
+    viol("prop.exactly-once",
+         "failed migration must roll back to the source only");
+  }
+
+  // Quiescence: once the migration reported its outcome (and the grace window
+  // flushed deferred teardowns), no session state may linger on either side.
+  if (done) {
+    for (std::size_t i = 0; i < world.node_count(); ++i) {
+      auto& nb = world.node(i);
+      if (nb.migd.src_phase() != -1 || nb.migd.busy_sending()) {
+        viol("prop.quiescence", nb.node.name() + ": source session still live");
+      }
+      if (nb.migd.dest_session_count() != 0) {
+        viol("prop.quiescence",
+             nb.node.name() + ": destination session still live");
+      }
+      if (nb.migd.capture().active_sessions() != 0) {
+        viol("prop.quiescence", nb.node.name() + ": capture session leaked");
+      }
+    }
+  }
+
+  if (r.success && plan->expect_freeze_capture && r.faults_injected == 0) {
+    if (stats.captured == 0) {
+      viol("prop.freeze-capture",
+           "no packet captured during the freeze despite 1 ms client sends");
+    }
+    if (stats.reinjected != stats.captured) {
+      viol("prop.capture-reinject",
+           "captured " + std::to_string(stats.captured) + " but reinjected " +
+               std::to_string(stats.reinjected));
+    }
+  }
+
+  if (r.success && r.faults_injected == 0) {
+    if (rx_count() <= rx_at_done) {
+      viol("prop.post-resume-liveness",
+           "client received nothing in the grace window after resume");
+    }
+  }
+
+  // UDP end-to-end packet accounting (the TCP workload gets the equivalent for
+  // free from the stack's sequence-space invariants).
+  if (udp_client && r.success && r.faults_injected == 0) {
+    if (udp_client->missing_snapshots() != 0) {
+      viol("prop.lost-snapshot",
+           std::to_string(udp_client->missing_snapshots()) +
+               " snapshot seq(s) never reached the client");
+    }
+    std::set<std::uint32_t> seen;
+    for (const dve::PacketRecord& rec : udp_client->received()) {
+      if (!seen.insert(rec.seq).second) {
+        viol("prop.duplicate-snapshot",
+             "client received snapshot seq " + std::to_string(rec.seq) +
+                 " twice");
+        break;
+      }
+    }
+  }
+
+  verifier.audit_now();
+  for (const check::Violation& v : verifier.violations()) {
+    // Frame-level faults tear holes in the protocol stream itself, so the
+    // ordering checker legitimately fires on such runs; every structural
+    // invariant still applies.
+    if (r.frame_faults_injected > 0 && v.rule.rfind("protocol.", 0) == 0) {
+      continue;
+    }
+    r.violations.push_back(v.rule + ": " + v.detail);
+  }
+
+  r.trace = decisions.trace();
+  return r;
+}
+
+}  // namespace dvemig::mc

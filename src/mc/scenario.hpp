@@ -1,0 +1,64 @@
+// Model-checking scenarios: one deterministic migration world per preset.
+//
+// A scenario builds a 2-node testbed with a migratable DVE workload, runs one
+// migration under a DecisionSource (schedule choices + fault choices), and then
+// judges the terminal state with two oracles:
+//
+//  - PR 1's check::Verifier invariants, audited throughout the run (socket
+//    table bijectivity, TCP sequence-space sanity, capture dedup, protocol
+//    frame ordering);
+//  - end-to-end properties evaluated at quiescence: the migration terminates
+//    (watchdog-bounded), the process exists on exactly one node, both migds and
+//    capture managers are quiescent, no client snapshot was lost or duplicated,
+//    the freeze window really captured in-flight traffic, and the service is
+//    live again after resume.
+//
+// Presets pick the workload and the fault plan:
+//   handshake — UDP game server, stop-and-copy, schedule choices only
+//   precopy   — same workload, live precopy migration (Figure 3 loop)
+//   freeze    — TCP zone server with active clients; client->server packets
+//               are deterministically duplicated (capture-dedup workout) and
+//               the migd connection suffers decision-driven link faults
+//   crash     — stop-and-copy with frame-level drop/duplicate/kill decisions
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/mc/decision.hpp"
+#include "src/mig/test_hooks.hpp"
+
+namespace dvemig::mc {
+
+/// Terminal judgement of one run.
+struct RunResult {
+  bool migration_done{false};  // the migd done-callback fired at all
+  bool success{false};         // MigrationStats::success
+  std::uint64_t captured{0};
+  std::uint64_t reinjected{0};
+  std::size_t faults_injected{0};
+  std::size_t frame_faults_injected{0};
+  std::uint64_t events{0};
+  std::uint64_t final_state_hash{0};
+  /// Every decision the run consumed (the explorer branches on these).
+  std::vector<Decision> trace;
+  /// Verifier violations plus "prop.*" end-to-end property failures, as
+  /// "rule: detail" strings. Empty == the run is clean.
+  std::vector<std::string> violations;
+
+  bool clean() const { return violations.empty(); }
+};
+
+const std::vector<std::string>& preset_names();
+bool preset_known(const std::string& preset);
+
+const char* mutation_name(mig::ProtocolMutation m);
+std::optional<mig::ProtocolMutation> mutation_from_name(const std::string& name);
+
+/// Execute one deterministic run of `preset` with `mutation` armed, drawing
+/// every nondeterministic choice from `decisions`.
+RunResult run_scenario(const std::string& preset, mig::ProtocolMutation mutation,
+                       DecisionSource& decisions);
+
+}  // namespace dvemig::mc

@@ -1,5 +1,6 @@
 #include "src/mig/capture.hpp"
 
+#include "src/mig/test_hooks.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/sim/engine.hpp"
 
@@ -104,7 +105,8 @@ stack::Verdict CaptureManager::on_local_in(net::Packet& p) {
   for (auto& [id, session] : sessions_) {
     for (const CaptureSpec& spec : session.specs) {
       if (!spec.matches(p)) continue;
-      if (p.proto == net::IpProto::tcp) {
+      if (p.proto == net::IpProto::tcp &&
+          mutation() != ProtocolMutation::skip_capture_dedup) {
         const auto key = std::make_tuple(p.src.value, p.tcp.sport, p.tcp.dport,
                                          p.tcp.seq);
         if (!session.seen_tcp.insert(key).second) {

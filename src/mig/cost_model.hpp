@@ -48,6 +48,13 @@ struct CostModel {
   std::int64_t freeze_threshold_ns{20'000'000};       // the paper's 20 ms
   int max_precopy_rounds{16};
 
+  /// Source-side watchdog on the whole migration. The protocol has no
+  /// frame-level retransmission, so a lost control frame (capture_enabled,
+  /// socket_ack, resume_done) would otherwise leave the source waiting forever
+  /// with the process frozen — found by dvemig-mc's drop-fault exploration.
+  /// Must comfortably exceed any legitimate migration duration.
+  std::int64_t migration_watchdog_ns{30'000'000'000};  // 30 s
+
   SimDuration subtract_cost(std::size_t sockets, std::size_t bytes) const {
     return SimTime::nanoseconds(
         static_cast<std::int64_t>(sockets) * socket_subtract_ns +

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/log.hpp"
+#include "src/mig/test_hooks.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/span.hpp"
 
@@ -69,6 +70,37 @@ void disable_socket(stack::NetStack& st, stack::Socket& sock) {
   }
   sock.set_migration_disabled(true);
   st.dst_cache_drop(sock.sock_id());
+}
+
+/// Roll back disable_socket after a failed migration: rehash the socket and
+/// re-arm its timers so the resumed process can keep using it. Without this
+/// the abort path wakes the process with its sockets unhashed and every send
+/// trips the migration_disabled precondition (found by dvemig-mc's crash
+/// preset: drop a freeze-phase frame, let the destination abort, resume).
+void enable_socket(stack::NetStack& st,
+                   const std::shared_ptr<stack::Socket>& sock) {
+  if (!sock->migration_disabled()) return;
+  sock->set_migration_disabled(false);
+  if (sock->type() == stack::SocketType::tcp) {
+    auto tcp = std::static_pointer_cast<stack::TcpSocket>(sock);
+    if (tcp->cb().state == stack::TcpState::listen) {
+      if (!tcp->hashed_bound()) {
+        st.table().bhash_insert(tcp, tcp->local().port);
+        tcp->set_hashed_bound(true);
+      }
+      for (const auto& child : tcp->accept_queue()) enable_socket(st, child);
+    } else {
+      if (!tcp->hashed_established()) {
+        st.table().ehash_insert(tcp,
+                                stack::FourTuple{tcp->local(), tcp->remote()});
+        tcp->set_hashed_established(true);
+      }
+      tcp->restart_timers_after_restore();
+    }
+  } else {
+    auto& udp = static_cast<stack::UdpSocket&>(*sock);
+    if (udp.cb().bound) st.table().bhash_insert(sock, udp.local().port);
+  }
 }
 
 /// A TCP socket is skippable in a precopy round if the user currently holds it
@@ -171,6 +203,12 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
             self->fail("destination migd unreachable");
           }
         });
+    // No frame-level retransmission exists, so a lost control frame would
+    // otherwise hang this session forever — with the process frozen if the
+    // loss hits during the freeze phase.
+    watchdog_ = engine().schedule_after(
+        SimTime::nanoseconds(cm().migration_watchdog_ns),
+        [self = shared_from_this()] { self->fail("migration watchdog expired"); });
   }
 
   MigrationStats& stats() { return stats_; }
@@ -182,6 +220,7 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
   /// std::function that is currently executing destroys its captures mid-call.
   void detach_callbacks() {
     connect_timer_.cancel();
+    watchdog_.cancel();
     if (channel_) {
       channel_->set_on_frame(nullptr);
       channel_->set_on_error(nullptr);
@@ -231,8 +270,29 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
   }
 
   void fail(const std::string& why) {
+    // Duplicated mig_abort (or a reset racing an abort) must not fail twice:
+    // the first failure already resumed the process, counted the metric and
+    // handed the stats to the owner.
+    if (phase_ == Phase::done) return;
     DVEMIG_WARN("migd", "migration of pid %u failed: %s", stats_.pid.value,
                 why.c_str());
+    // Undo the freeze's socket subtraction before waking the process: restore
+    // retargeted remote endpoints, then rehash and re-enable every socket the
+    // freeze disabled.
+    for (const MigSocket& ms : sockets_) {
+      if (ms.sock->migration_disabled() &&
+          ms.effective_remote != ms.orig_remote) {
+        if (ms.sock->type() == stack::SocketType::tcp) {
+          auto& tcp = static_cast<stack::TcpSocket&>(*ms.sock);
+          tcp.set_endpoints(tcp.local(), ms.orig_remote);
+        } else {
+          auto& udp = static_cast<stack::UdpSocket&>(*ms.sock);
+          udp.set_endpoints(udp.local(), ms.orig_remote, udp.cb().bound,
+                            udp.cb().connected);
+        }
+      }
+      enable_socket(node_->stack(), ms.sock);
+    }
     if (proc_->frozen()) proc_->resume();  // best effort: keep the source alive
     stats_.success = false;
     // Close the whole span tree inner-to-outer so depths unwind cleanly.
@@ -244,6 +304,16 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
     close_span(span_total_);
     phase_ = Phase::done;
     MigMetrics::get().failed.add(1);
+    // Tell the destination the migration is dead — it may hold armed capture
+    // filters and a staged image — and release both control sockets. A silent
+    // source-side failure used to leak the dest session, whose filters kept
+    // stealing the process's packets forever.
+    if (channel_ && (sock_->state() == stack::TcpState::established ||
+                     sock_->state() == stack::TcpState::close_wait)) {
+      channel_->send(MsgType::mig_abort, Buffer{});
+    }
+    if (sock_) sock_->close();
+    if (ctrl_) ctrl_->close();
     detach_later();
     owner_->source_finished(stats_);
   }
@@ -282,6 +352,10 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
   }
 
   void on_frame(MsgType type, BinaryReader& r) {
+    // A finished session can still see frames already in flight (a duplicated
+    // mig_abort, a straggling ack); they refer to a migration that no longer
+    // exists.
+    if (phase_ == Phase::done) return;
     switch (type) {
       case MsgType::capture_enabled:
         if (on_capture_enabled_) std::exchange(on_capture_enabled_, nullptr)();
@@ -725,6 +799,7 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
   std::unique_ptr<FrameChannel> channel_;
   std::shared_ptr<stack::UdpSocket> ctrl_;
   sim::TimerHandle connect_timer_;
+  sim::TimerHandle watchdog_;
 
   ckpt::DirtyTracker mem_tracker_;
   SocketDeltaTracker sock_tracker_;
@@ -763,18 +838,18 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
         });
     // Malformed inbound frames: tell the source the migration is dead (mig_abort
     // is still sendable — only the receive side is poisoned), drop any armed
-    // capture filters, and retire this session. Deferred one event so the
-    // channel is not destroyed from inside its own receive path.
+    // capture filters, and retire this session.
     channel_->set_on_error([self = shared_from_this()](const char* reason) {
-      DVEMIG_WARN("migd", "dest channel on %s: %s", self->node_->name().c_str(),
-                  reason);
-      self->channel_->send(MsgType::mig_abort, Buffer{});
-      self->engine().schedule_after(SimTime::zero(), [self] {
-        self->owner_->capture_.abort_session(self->capture_session_);
-        self->sock_->close();
-        self->detach_callbacks();
-        self->owner_->release_dest_session(self.get());
-      });
+      self->teardown(reason, /*notify_peer=*/true);
+    });
+    // A source that dies mid-migration (crash = RST, plain close = FIN before
+    // resume_done) must not strand this session: armed capture filters would
+    // keep stealing the process's packets with nobody left to reinject them.
+    sock_->set_on_reset([self = shared_from_this()] {
+      self->teardown("source connection reset", /*notify_peer=*/false);
+    });
+    sock_->set_on_peer_closed([self = shared_from_this()] {
+      self->teardown("source closed before restore", /*notify_peer=*/false);
     });
   }
 
@@ -787,7 +862,10 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
       channel_->set_on_frame(nullptr);
       channel_->set_on_error(nullptr);
     }
-    if (sock_) sock_->set_on_peer_closed(nullptr);
+    if (sock_) {
+      sock_->set_on_peer_closed(nullptr);
+      sock_->set_on_reset(nullptr);
+    }
   }
 
  private:
@@ -811,9 +889,54 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
     });
   }
 
+  /// Common failure teardown: drop armed capture filters, optionally tell the
+  /// peer, close and retire the session. Idempotent — the abort, reset and
+  /// peer-closed paths can all fire for the same dead migration. The release
+  /// is deferred one event because this runs inside channel/socket callbacks.
+  void teardown(const char* why, bool notify_peer) {
+    if (tearing_down_) return;
+    if (resumed_) {
+      // The migration is already committed on this side — the process is
+      // adopted and running, captured packets reinjected. A channel error now
+      // (source crash after resume_done, or this daemon's own send failing)
+      // only means the graceful peer-closed handshake will never happen, so
+      // retire the session quietly instead of aborting anything.
+      tearing_down_ = true;
+      engine().schedule_after(SimTime::zero(), [self = shared_from_this()] {
+        self->sock_->close();
+        self->detach_callbacks();
+        self->owner_->release_dest_session(self.get());
+      });
+      return;
+    }
+    tearing_down_ = true;
+    DVEMIG_WARN("migd", "dest session on %s torn down: %s",
+                node_->name().c_str(), why);
+    if (notify_peer && (sock_->state() == stack::TcpState::established ||
+                        sock_->state() == stack::TcpState::close_wait)) {
+      channel_->send(MsgType::mig_abort, Buffer{});
+    }
+    engine().schedule_after(SimTime::zero(), [self = shared_from_this()] {
+      self->owner_->capture_.abort_session(self->capture_session_);
+      self->sock_->close();
+      self->detach_callbacks();
+      self->owner_->release_dest_session(self.get());
+    });
+  }
+
   void on_frame(MsgType type, BinaryReader& r) {
+    // A retired (or retiring) session can still see frames already in flight;
+    // they belong to a migration that no longer exists.
+    if (tearing_down_ || resumed_) return;
     switch (type) {
       case MsgType::mig_begin: {
+        if (begun_) {
+          // A duplicated mig_begin must not re-arm: begin_session() again
+          // would orphan the first capture session and every spec in it.
+          teardown("duplicate mig_begin", /*notify_peer=*/true);
+          return;
+        }
+        begun_ = true;
         pid_ = Pid{r.u32()};
         name_ = r.str();
         strategy_ = static_cast<SocketMigStrategy>(r.u8());
@@ -822,6 +945,10 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
         return;
       }
       case MsgType::capture_request: {
+        if (!begun_) {
+          teardown("capture_request before mig_begin", /*notify_peer=*/true);
+          return;
+        }
         const std::uint32_t n = r.u32();
         DVEMIG_EXPECTS(n <= r.remaining());  // each spec consumes >= 1 byte
         std::vector<CaptureSpec> specs;
@@ -833,14 +960,23 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
         after(SimTime::nanoseconds(static_cast<std::int64_t>(n) *
                                    cm().capture_install_ns),
               [this, specs = std::move(specs)] {
-                for (const CaptureSpec& s : specs) {
-                  owner_->capture_.add_spec(capture_session_, s);
+                // An abort can land while the filters are being installed;
+                // arming against the already-dropped session would crash.
+                if (tearing_down_) return;
+                if (mutation() != ProtocolMutation::skip_capture_arm) {
+                  for (const CaptureSpec& s : specs) {
+                    owner_->capture_.add_spec(capture_session_, s);
+                  }
                 }
                 channel_->send(MsgType::capture_enabled, Buffer{});
               });
         return;
       }
       case MsgType::socket_state: {
+        if (!begun_) {
+          teardown("socket_state before mig_begin", /*notify_peer=*/true);
+          return;
+        }
         socket_bytes_ += r.remaining() + 1;
         const std::uint32_t n = r.u32();
         (void)n;
@@ -851,12 +987,23 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
         return;
       }
       case MsgType::memory_delta: {
+        if (!begun_) {
+          teardown("memory_delta before mig_begin", /*notify_peer=*/true);
+          return;
+        }
         memory_bytes_ += r.remaining() + 1;
         const ckpt::MemoryDelta delta = ckpt::MemoryDelta::deserialize(r);
         pages_received_ += delta.dirty_pages.size();
         return;
       }
       case MsgType::process_image: {
+        if (!begun_ || restore_pending_) {
+          teardown(restore_pending_ ? "duplicate process_image"
+                                    : "process_image before mig_begin",
+                   /*notify_peer=*/true);
+          return;
+        }
+        restore_pending_ = true;
         img_ = ckpt::ProcessImage::deserialize(r);
         span_restore_ = tracer().begin(
             tracer().track(node_->name() + "/migd.dst"), "mig.restore");
@@ -868,14 +1015,21 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
         return;
       }
       case MsgType::mig_abort:
-        owner_->capture_.abort_session(capture_session_);
+        // Not just the capture session: the socket, the channel and the
+        // session object itself are dead weight after an abort.
+        teardown("aborted by source", /*notify_peer=*/false);
         return;
       default:
+        teardown("unexpected frame", /*notify_peer=*/true);
         return;
     }
   }
 
   void do_restore() {
+    // The session can be torn down (abort, source crash) while the restore
+    // cost was being paid; restoring from a dropped capture session would
+    // resurrect a migration both sides consider dead.
+    if (tearing_down_) return;
     DVEMIG_DEBUG("migd", "pid %u restore on %s: %zu staged sockets, %llu socket "
                  "bytes, %llu pages",
                  img_.pid.value, node_->name().c_str(), staging_.size(),
@@ -891,17 +1045,29 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
     ctx.src_local_now_at_ckpt_ns = img_.src_local_now_ns;
     ctx.adjust_timestamps = owner_->adjust_timestamps_;
 
-    // Reattach sockets at their original fds, in fd order.
+    // Reattach sockets at their original fds, in fd order. Validate the whole
+    // staging set *before* touching the stack: a lost socket_state frame can
+    // leave the image referencing sockets that never arrived (found by
+    // dvemig-mc's drop-fault exploration), and noticing that halfway through
+    // would leave freshly-rehashed sockets behind on an aborted restore.
     std::unordered_map<Fd, const StagedSocket*> by_fd;
     for (const auto& [key, staged] : staging_) {
-      DVEMIG_ASSERT(staged.complete());
+      if (!staged.complete()) {
+        teardown("incomplete staged socket record", /*notify_peer=*/true);
+        return;
+      }
       by_fd[staged.proto == net::IpProto::tcp ? staged.tcp.fd : staged.udp.fd] =
           &staged;
     }
     for (const Fd fd : img_.socket_fds) {
-      const auto it = by_fd.find(fd);
-      DVEMIG_ASSERT(it != by_fd.end());
-      const StagedSocket& staged = *it->second;
+      if (by_fd.find(fd) == by_fd.end()) {
+        teardown("process image references a socket that was never staged",
+                 /*notify_peer=*/true);
+        return;
+      }
+    }
+    for (const Fd fd : img_.socket_fds) {
+      const StagedSocket& staged = *by_fd.find(fd)->second;
       if (staged.proto == net::IpProto::tcp) {
         proc->files().attach_socket_at(fd, restore_tcp(staged.tcp, ctx));
       } else {
@@ -921,17 +1087,24 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
     tracer().end(span_restore_);
     span_restore_ = 0;
     MigMetrics::get().restores.add(1);
+    resumed_ = true;
 
     BinaryWriter w;
     w.i64(engine().now().ns);
     w.u64(captured);
     w.u64(reinjected);
-    channel_->send(MsgType::resume_done, std::move(w));
+    const Buffer done_payload = w.take();
+    channel_->send(MsgType::resume_done, done_payload);
+    if (mutation() == ProtocolMutation::double_resume_done) {
+      channel_->send(MsgType::resume_done, done_payload);
+    }
 
     // Let the peer close first; drop our reference afterwards. The detach is
     // deferred one event because this handler is itself one of the callbacks
     // detach_callbacks() clears.
     sock_->set_on_peer_closed([self = shared_from_this()] {
+      if (self->tearing_down_) return;
+      self->tearing_down_ = true;
       self->sock_->close();
       self->engine().schedule_after(SimTime::zero(), [self] {
         self->detach_callbacks();
@@ -950,6 +1123,10 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
   SocketMigStrategy strategy_{};
   net::Ipv4Addr src_local_{};
   std::uint64_t capture_session_{0};
+  bool begun_{false};           // mig_begin received
+  bool restore_pending_{false};  // process_image received, restore scheduled
+  bool resumed_{false};          // restore complete, resume_done sent
+  bool tearing_down_{false};     // failure teardown scheduled
 
   SocketStaging staging_;
   std::uint64_t socket_bytes_{0};
@@ -1018,6 +1195,10 @@ bool Migd::migrate(Pid pid, net::Ipv4Addr dest_local, MigrateOptions options,
 void Migd::source_finished(const MigrationStats& stats) {
   src_session_.reset();
   if (done_) std::exchange(done_, nullptr)(stats);
+}
+
+int Migd::src_phase() const {
+  return src_session_ ? static_cast<int>(src_session_->phase()) : -1;
 }
 
 }  // namespace dvemig::mig

@@ -123,6 +123,13 @@ class Migd {
 
   bool busy_sending() const { return src_session_ != nullptr; }
 
+  /// State probes for the model checker (src/mc): the source session's coarse
+  /// phase (-1 when none is active; otherwise SourceSession::Phase as int) and
+  /// the number of live destination sessions. Quiescence after a migration —
+  /// success or failure — means src_phase() == -1 and dest_session_count() == 0.
+  int src_phase() const;
+  std::size_t dest_session_count() const { return dst_sessions_.size(); }
+
   proc::Node& node() const { return *node_; }
   CaptureManager& capture() { return capture_; }
   TranslationManager& translation() { return translation_; }

@@ -25,18 +25,51 @@ FrameChannel::FrameChannel(stack::TcpSocket::Ptr sock) : sock_(std::move(sock)) 
 }
 
 FrameChannel::~FrameChannel() {
+  // The socket can outlive the channel (the table holds it through FIN/RST
+  // teardown), and a frame crossing the wire during shutdown — e.g. both ends
+  // sending mig_abort to each other — would otherwise fire this callback on a
+  // freed channel.
+  sock_->set_on_readable(nullptr);
   if (observer_) observer_->on_channel_closed(*this);
 }
 
 void FrameChannel::send(MsgType type, const Buffer& payload) {
-  if (observer_) observer_->on_channel_frame(*this, /*outbound=*/true, type,
-                                             payload.size());
-  BinaryWriter frame;
-  frame.u32(static_cast<std::uint32_t>(payload.size() + 1));
-  frame.u8(static_cast<std::uint8_t>(type));
-  frame.bytes(payload);
-  bytes_sent_ += frame.size();
-  sock_->send(frame.take());
+  // A poisoned receive side (fail_rx) must NOT block sending: answering
+  // garbage with mig_abort is exactly how the migd fails fast. Only the
+  // socket's state gates transmission — a killed channel aborted its socket,
+  // and a connection reset under a still-running session (crossing mig_abort,
+  // peer daemon crash) would trip the socket's send precondition; the frame
+  // is lost either way.
+  const stack::TcpState st = sock_->state();
+  if (st != stack::TcpState::established && st != stack::TcpState::close_wait &&
+      st != stack::TcpState::syn_sent && st != stack::TcpState::syn_rcvd) {
+    return;
+  }
+  FaultAction action = FaultAction::pass;
+  if (fault_hook_) action = fault_hook_->on_send(*this, type, payload.size());
+  if (action == FaultAction::drop) return;  // the peer never sees this frame
+  if (action == FaultAction::kill) {
+    // Sending daemon "crashes" mid-protocol: RST the connection and go silent
+    // (a dead daemon emits no further frames on this channel). The owning
+    // session dies with its daemon — surface the crash as a channel error so
+    // it tears down instead of lingering with capture sessions armed.
+    errored_ = true;
+    sock_->abort();
+    if (observer_) observer_->on_channel_error(*this, "daemon killed");
+    if (on_error_) on_error_("daemon killed");
+    return;
+  }
+  const int copies = action == FaultAction::duplicate ? 2 : 1;
+  for (int i = 0; i < copies; ++i) {
+    if (observer_) observer_->on_channel_frame(*this, /*outbound=*/true, type,
+                                               payload.size());
+    BinaryWriter frame;
+    frame.u32(static_cast<std::uint32_t>(payload.size() + 1));
+    frame.u8(static_cast<std::uint8_t>(type));
+    frame.bytes(payload);
+    bytes_sent_ += frame.size();
+    sock_->send(frame.take());
+  }
 }
 
 void FrameChannel::fail_rx(const char* reason) {

@@ -75,6 +75,22 @@ class FrameChannel {
   static void set_observer(Observer* obs) { observer_ = obs; }
   static Observer* observer() { return observer_; }
 
+  /// Process-wide fault-injection seam used by the model checker (src/mc).
+  /// Consulted per frame on the send side, *before* the frame hits the byte
+  /// stream — so `drop` means the peer never sees it, `duplicate` means it is
+  /// framed twice back-to-back, and `kill` aborts the underlying socket (RST
+  /// to the peer) modelling the sending daemon crashing at that point in the
+  /// protocol. One hook at most; production code never installs one.
+  enum class FaultAction : std::uint8_t { pass, drop, duplicate, kill };
+  class FaultHook {
+   public:
+    virtual ~FaultHook() = default;
+    virtual FaultAction on_send(const FrameChannel& ch, MsgType type,
+                                std::size_t payload_len) = 0;
+  };
+  static void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  static FaultHook* fault_hook() { return fault_hook_; }
+
   explicit FrameChannel(stack::TcpSocket::Ptr sock);
   FrameChannel(const FrameChannel&) = delete;
   FrameChannel& operator=(const FrameChannel&) = delete;
@@ -99,6 +115,7 @@ class FrameChannel {
   void fail_rx(const char* reason);
 
   static inline Observer* observer_ = nullptr;
+  static inline FaultHook* fault_hook_ = nullptr;
 
   stack::TcpSocket::Ptr sock_;
   Buffer rx_buffer_;

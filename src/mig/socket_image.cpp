@@ -1,6 +1,7 @@
 #include "src/mig/socket_image.hpp"
 
 #include "src/mig/cost_model.hpp"
+#include "src/mig/test_hooks.hpp"
 #include "src/obs/metrics.hpp"
 
 namespace dvemig::mig {
@@ -437,12 +438,16 @@ std::shared_ptr<stack::UdpSocket> restore_udp(const UdpImage& img,
   DVEMIG_EXPECTS(ctx.stack != nullptr);
   auto sock = ctx.stack->make_udp();
   const net::Endpoint local = rewrite_local(img.local, ctx);
-  sock->set_endpoints(local, img.remote, img.bound, img.connected);
+  if (mutation() == ProtocolMutation::swap_image_endpoints) {
+    sock->set_endpoints(img.remote, local, img.bound, img.connected);
+  } else {
+    sock->set_endpoints(local, img.remote, img.bound, img.connected);
+  }
   stack::UdpCb& cb = sock->cb();
   for (const auto& [from, data] : img.receive_queue) {
     cb.receive_queue.push_back(stack::UdpDatagram{from, data});
   }
-  if (img.bound) {
+  if (img.bound && mutation() != ProtocolMutation::skip_restore_rehash) {
     // Rehash the bound server socket on the destination (Section V-C2).
     ctx.stack->table().bhash_insert(sock, local.port);
     rehash_counter().add(1);

@@ -6,6 +6,8 @@ namespace dvemig::net {
 
 void Link::transmit(Packet p) {
   DVEMIG_EXPECTS(config_.bandwidth_bps > 0);
+  FaultVerdict fault;
+  if (fault_hook_) fault = fault_hook_->on_transmit(*this, p);
   const std::size_t wire = p.wire_size();
   const auto serialization =
       SimTime::nanoseconds(static_cast<std::int64_t>(static_cast<double>(wire) * 8.0 /
@@ -19,9 +21,19 @@ void Link::transmit(Packet p) {
   bytes_ += wire;
 
   if (!sink_) return;  // unconnected link drops (like an unplugged cable)
-  engine_->schedule_at(arrival, [this, pkt = std::move(p)]() mutable {
-    if (sink_) sink_(std::move(pkt));
-  });
+  if (fault.drop && !fault.duplicate) return;  // lost on the wire
+  if (fault.duplicate && !fault.drop) {
+    // Second copy delivers one serialization slot later, as if retransmitted
+    // by a confused middlebox right behind the original.
+    engine_->schedule_at(arrival + serialization + fault.extra_delay,
+                         [this, pkt = p]() mutable {
+                           if (sink_) sink_(std::move(pkt));
+                         });
+  }
+  engine_->schedule_at(arrival + fault.extra_delay,
+                       [this, pkt = std::move(p)]() mutable {
+                         if (sink_) sink_(std::move(pkt));
+                       });
 }
 
 }  // namespace dvemig::net

@@ -22,6 +22,23 @@ struct LinkConfig {
 
 class Link {
  public:
+  /// Process-wide fault-injection seam used by the model checker (src/mc).
+  /// Consulted once per transmitted packet; the verdict can drop it, deliver a
+  /// second copy, and/or add delivery delay (reordering it behind later
+  /// traffic). One hook at most; production code never installs one.
+  struct FaultVerdict {
+    bool drop{false};
+    bool duplicate{false};
+    SimDuration extra_delay{SimTime::zero()};
+  };
+  class FaultHook {
+   public:
+    virtual ~FaultHook() = default;
+    virtual FaultVerdict on_transmit(const Link& link, const Packet& p) = 0;
+  };
+  static void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  static FaultHook* fault_hook() { return fault_hook_; }
+
   Link(sim::Engine& engine, LinkConfig config) : engine_(&engine), config_(config) {}
 
   void set_sink(PacketSink sink) { sink_ = std::move(sink); }
@@ -36,6 +53,8 @@ class Link {
   std::uint64_t bytes_sent() const { return bytes_; }
 
  private:
+  static inline FaultHook* fault_hook_ = nullptr;
+
   sim::Engine* engine_;
   LinkConfig config_;
   PacketSink sink_;

@@ -1,5 +1,7 @@
 #include "src/sim/engine.hpp"
 
+#include <algorithm>
+
 #include "src/common/sim_clock.hpp"
 #include "src/obs/metrics.hpp"
 
@@ -31,7 +33,36 @@ bool Engine::fire_next() {
     Event ev = queue_.top();
     queue_.pop();
     if (!*ev.alive) continue;  // cancelled timer — skip
-    DVEMIG_ASSERT(ev.when >= now_);
+    if (choice_) {
+      // Model-checking mode: gather the ready set (live events within the
+      // commutativity window of the earliest due event) and let the hook pick.
+      std::vector<Event> ready;
+      ready.push_back(std::move(ev));
+      const SimTime horizon =
+          std::max(ready.front().when, now_) + choice_window_;
+      while (ready.size() < choice_max_ready_ && !queue_.empty()) {
+        if (!*queue_.top().alive) {
+          queue_.pop();
+          continue;
+        }
+        if (queue_.top().when > horizon) break;
+        ready.push_back(queue_.top());
+        queue_.pop();
+      }
+      std::size_t idx = 0;
+      if (ready.size() > 1) {
+        idx = choice_(ready.size());
+        DVEMIG_ASSERT(idx < ready.size());
+      }
+      for (std::size_t i = 0; i < ready.size(); ++i) {
+        if (i != idx) queue_.push(std::move(ready[i]));
+      }
+      ev = std::move(ready[idx]);
+    }
+    // Firing a later-stamped ready-set member first means the bypassed ones
+    // deliver after it; when they come back around (possibly after the choice
+    // hook was uninstalled), clamp instead of travelling backwards in time.
+    if (ev.when < now_) ev.when = now_;
     now_ = ev.when;
     *ev.alive = false;  // consume before firing so re-arming inside fn works
     ev.fn();

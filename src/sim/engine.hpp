@@ -62,6 +62,10 @@ class Engine {
 
   /// Schedule `fn` to run at absolute time `when` (must not be in the past).
   TimerHandle schedule_at(SimTime when, EventFn fn) {
+    // Under a choice hook, now() can warp ahead of times computed from state
+    // captured before the reordering (e.g. a link's busy-until); those events
+    // are simply due immediately.
+    if (choice_ && when < now_) when = now_;
     DVEMIG_EXPECTS(when >= now_);
     auto alive = std::make_shared<bool>(true);
     queue_.push(Event{when, next_seq_++, alive, std::move(fn)});
@@ -91,6 +95,24 @@ class Engine {
   /// One hook at most; pass nullptr to uninstall.
   void set_post_event_hook(EventFn fn) { post_event_ = std::move(fn); }
 
+  /// Model-checking seam (src/mc). When installed, events whose timestamps fall
+  /// within `window` of the earliest pending event form a *ready set* — the
+  /// physical system has no global clock, so their relative order is network
+  /// jitter, not causality — and the hook picks which of them fires next (it
+  /// receives the set size and returns an index). Firing a later-stamped member
+  /// first advances now() to that member's timestamp; the bypassed events fire
+  /// afterwards at the then-current time, exactly as if their delivery had been
+  /// delayed by up to `window`. With no hook (the default), order is the usual
+  /// deterministic (time, seq) order and nothing changes. Pass nullptr to
+  /// uninstall. `max_ready` caps the set (bounds the branching factor).
+  using ChoiceFn = std::function<std::size_t(std::size_t ready_count)>;
+  void set_choice_hook(ChoiceFn fn, SimDuration window = SimTime::zero(),
+                       std::size_t max_ready = 4) {
+    choice_ = std::move(fn);
+    choice_window_ = window;
+    choice_max_ready_ = max_ready < 1 ? 1 : max_ready;
+  }
+
   std::uint64_t events_fired() const { return events_fired_; }
 
  private:
@@ -115,6 +137,9 @@ class Engine {
   std::uint64_t events_fired_{0};
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   EventFn post_event_;
+  ChoiceFn choice_;
+  SimDuration choice_window_{SimTime::zero()};
+  std::size_t choice_max_ready_{4};
   // Observability (src/obs): registry objects are process-lived, so caching
   // the pointers keeps the per-event cost to one integer add.
   obs::Counter* events_counter_;

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/lint_dvemig.py, run under ctest.
+
+The serializer-symmetry rule is itself part of the checking story (ISSUE PR 3:
+wire-format bugs the model checker cannot reach because both sides of the
+simulator share the same build), so it gets the same treatment as the model
+checker: plant real wire-format bugs in copies of the real serializers and
+prove the rule catches every one — and stays quiet on the untouched sources.
+"""
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+LINTER = REPO / "tools" / "lint_dvemig.py"
+
+
+def run_lint(root: pathlib.Path) -> tuple[int, str]:
+    proc = subprocess.run(
+        [sys.executable, str(LINTER), "--root", str(root)],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def lint_mutated(src_rel: str, old: str, new: str) -> tuple[int, str]:
+    """Copy one real source file into a scratch tree, mutate it, lint it.
+
+    Only the mutated file is present, so unrelated module-level rules
+    (hash-pairing) may fire too; callers assert on specific rule tags.
+    """
+    src = REPO / src_rel
+    text = src.read_text()
+    assert old in text, f"mutation anchor not found in {src_rel}: {old!r}"
+    with tempfile.TemporaryDirectory() as tmp:
+        tgt = pathlib.Path(tmp) / src_rel
+        tgt.parent.mkdir(parents=True)
+        tgt.write_text(text.replace(old, new, 1))
+        return run_lint(pathlib.Path(tmp))
+
+
+class RepoIsClean(unittest.TestCase):
+    def test_whole_repo_lints_clean(self) -> None:
+        code, out = run_lint(REPO)
+        self.assertEqual(code, 0, out)
+
+
+class SerializerSymmetry(unittest.TestCase):
+    """Each planted wire-format bug must be caught; the original must pass."""
+
+    def test_untouched_serializers_pass(self) -> None:
+        _, out = lint_mutated("src/mig/socket_image.cpp", "w.u32(iss);", "w.u32(iss);")
+        self.assertNotIn("[serializer-symmetry]", out)
+        _, out = lint_mutated("src/ckpt/image.cpp", "w.str(name);", "w.str(name);")
+        self.assertNotIn("[serializer-symmetry]", out)
+
+    def test_catches_width_change_on_read_side(self) -> None:
+        # TcpImage::deserialize_dynamic reads snd_una as the wrong width.
+        code, out = lint_mutated(
+            "src/mig/socket_image.cpp", "snd_una = r.u32();", "snd_una = r.u64();"
+        )
+        self.assertNotEqual(code, 0)
+        self.assertIn("[serializer-symmetry]", out)
+        self.assertIn("serialize_dynamic", out)
+
+    def test_catches_dropped_pad_skip(self) -> None:
+        # UdpImage::deserialize_static forgets to skip the struct pad.
+        code, out = lint_mutated(
+            "src/mig/socket_image.cpp", "r.skip(kUdpSockStructPad);", ""
+        )
+        self.assertNotEqual(code, 0)
+        self.assertIn("[serializer-symmetry]", out)
+
+    def test_catches_reordered_fields(self) -> None:
+        # ProcessImage::deserialize reads a FileImage's flags before its offset.
+        code, out = lint_mutated(
+            "src/ckpt/image.cpp",
+            "f.offset = r.u64();\n    f.flags = r.u32();",
+            "f.flags = r.u32();\n    f.offset = r.u64();",
+        )
+        self.assertNotEqual(code, 0)
+        self.assertIn("[serializer-symmetry]", out)
+
+    def test_catches_write_only_field(self) -> None:
+        # A field appended to write_area with no matching read_area change.
+        code, out = lint_mutated(
+            "src/ckpt/image.cpp",
+            "w.str(a.name);",
+            "w.str(a.name);\n  w.u8(0);",
+        )
+        self.assertNotEqual(code, 0)
+        self.assertIn("[serializer-symmetry]", out)
+        self.assertIn("write_area", out)
+
+
+class PhaseSpanMultiline(unittest.TestCase):
+    """The phase-span rule must see assignments that wrap across lines."""
+
+    def lint_snippet(self, body: str) -> str:
+        with tempfile.TemporaryDirectory() as tmp:
+            tgt = pathlib.Path(tmp) / "src" / "mig" / "synthetic.cpp"
+            tgt.parent.mkdir(parents=True)
+            tgt.write_text(body)
+            _, out = run_lint(pathlib.Path(tmp))
+            return out
+
+    def test_multiline_phase_write_without_span_is_flagged(self) -> None:
+        out = self.lint_snippet(
+            "void f() {\n"
+            "  phase_ =\n"
+            "      Phase::freeze;\n"
+            "\n\n\n\n\n"
+            "  unrelated();\n"
+            "}\n"
+        )
+        self.assertIn("[phase-span]", out)
+
+    def test_multiline_phase_write_with_adjacent_span_passes(self) -> None:
+        out = self.lint_snippet(
+            "void f() {\n"
+            "  span_freeze_ = tracer().begin(\"freeze\");\n"
+            "  phase_ =\n"
+            "      Phase::freeze;\n"
+            "}\n"
+        )
+        self.assertNotIn("[phase-span]", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,119 @@
+// Regression replays of minimized traces that dvemig-mc found on earlier
+// revisions of the migration protocol. Each script below once drove the
+// simulator into an assert, a leak, or an oracle violation; replaying it must
+// now come back clean. The scripts are verbatim `--repro-out` output, so they
+// double as documentation of what each bug looked like on the wire.
+//
+// All of them use the crash preset: stop-and-copy migration where every migd
+// frame send draws a pass/drop/duplicate/kill decision (choice 0/1/2/3). The
+// Nth choice applies to the Nth frame of the handshake:
+//   #0 mig_begin  #1 capture_request  #2 capture_enabled  #3 socket_state
+//   #4 socket_ack #5 memory_delta     #6 process_image    #7 resume_done
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/mc/explorer.hpp"
+
+namespace dvemig::mc {
+namespace {
+
+RunResult replay(const char* script_text) {
+  std::string error;
+  const auto script = Script::parse(script_text, &error);
+  EXPECT_TRUE(script.has_value()) << error;
+  if (!script) return RunResult{};
+  return replay_script(*script);
+}
+
+constexpr char kHeader[] =
+    "# dvemig-mc repro script\n"
+    "preset crash\n"
+    "tail zeros\n"
+    "seed 0\n"
+    "mutation none\n";
+
+// Source daemon "crashes" sending the very first frame. Earlier revisions let
+// the crossing mig_abort fire the on_readable callback of an already-freed
+// FrameChannel (the socket outlives the channel in the ehash through RST
+// teardown) — a heap-use-after-free under ASan.
+TEST(McRepro, KillAtMigBegin) {
+  const RunResult r = replay((std::string(kHeader) + "choices 3\n").c_str());
+  EXPECT_TRUE(r.clean()) << r.violations.front();
+  EXPECT_TRUE(r.migration_done);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.frame_faults_injected, 1u);
+}
+
+// mig_begin never arrives: the dest sees capture_request first and aborts,
+// the source must roll its (still-runnable) process back.
+TEST(McRepro, DropMigBegin) {
+  const RunResult r = replay((std::string(kHeader) + "choices 1\n").c_str());
+  EXPECT_TRUE(r.clean()) << r.violations.front();
+  EXPECT_TRUE(r.migration_done);
+  EXPECT_FALSE(r.success);
+}
+
+// A duplicated mig_begin must not re-arm the dest session: begin_session()
+// twice used to orphan the first capture session and every spec in it.
+TEST(McRepro, DuplicateMigBegin) {
+  const RunResult r = replay((std::string(kHeader) + "choices 2\n").c_str());
+  EXPECT_TRUE(r.clean()) << r.violations.front();
+  EXPECT_TRUE(r.migration_done);
+  EXPECT_FALSE(r.success);
+}
+
+// Dest daemon dies while acknowledging capture arming. Before the fix the
+// self-aborted channel never surfaced a channel error, so the dest session —
+// capture filters armed — leaked past quiescence, and the source kept sending
+// frames into the dead connection (tripping the TCP socket's send
+// precondition).
+TEST(McRepro, KillAtCaptureEnabled) {
+  const RunResult r = replay((std::string(kHeader) + "choices 0 0 3\n").c_str());
+  EXPECT_TRUE(r.clean()) << r.violations.front();
+  EXPECT_TRUE(r.migration_done);
+  EXPECT_FALSE(r.success);
+}
+
+// socket_state is dropped but process_image still arrives: the image then
+// references a socket that was never staged. That was a hard
+// DVEMIG_ASSERT(it != by_fd.end()) crash in do_restore; now it must be a
+// graceful teardown with the source rolling back (which itself used to trip
+// EXPECTS(!migration_disabled()) because the rollback resumed the process
+// with its sockets still unhashed from the freeze subtraction).
+TEST(McRepro, DropSocketStateThenRestore) {
+  const RunResult r =
+      replay((std::string(kHeader) + "choices 0 0 0 1\n").c_str());
+  EXPECT_TRUE(r.clean()) << r.violations.front();
+  EXPECT_TRUE(r.migration_done);
+  EXPECT_FALSE(r.success);
+}
+
+// Dest daemon dies while sending resume_done — after the migration is already
+// committed on its side (process adopted, resumed, packets reinjected). The
+// committed session used to ignore the channel error entirely and sit in the
+// session table forever waiting for a peer-closed that can never arrive.
+TEST(McRepro, KillAtResumeDone) {
+  const RunResult r =
+      replay((std::string(kHeader) + "choices 0 0 0 0 0 0 0 3\n").c_str());
+  EXPECT_TRUE(r.clean()) << r.violations.front();
+  EXPECT_TRUE(r.migration_done);
+  EXPECT_FALSE(r.success);
+}
+
+// resume_done is dropped: the dest has committed but the source never learns
+// it and watchdog-fails. This is the lost-commit-ack split-brain documented in
+// DESIGN.md §9 — inherent without atomic commitment, so the exactly-once
+// oracle tolerates both copies existing *only* when a frame fault was
+// injected. The run must still terminate and pass every other property.
+TEST(McRepro, DropResumeDoneSplitBrain) {
+  const RunResult r =
+      replay((std::string(kHeader) + "choices 0 0 0 0 0 0 0 1\n").c_str());
+  EXPECT_TRUE(r.clean()) << r.violations.front();
+  EXPECT_TRUE(r.migration_done);
+  EXPECT_FALSE(r.success);  // the *source* judges the migration failed
+  EXPECT_EQ(r.frame_faults_injected, 1u);
+}
+
+}  // namespace
+}  // namespace dvemig::mc

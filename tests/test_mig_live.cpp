@@ -163,8 +163,8 @@ INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyTransparency,
                          ::testing::Values(SocketMigStrategy::iterative,
                                            SocketMigStrategy::collective,
                                            SocketMigStrategy::incremental_collective),
-                         [](const auto& info) {
-                           std::string name = mig::strategy_name(info.param);
+                         [](const auto& suite_info) {
+                           std::string name = mig::strategy_name(suite_info.param);
                            for (char& c : name) {
                              if (c == '-') c = '_';
                            }

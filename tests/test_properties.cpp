@@ -79,9 +79,9 @@ INSTANTIATE_TEST_SUITE_P(
                       TcpLossCase{9, 120'000},    // ~11 % loss
                       TcpLossCase{4, 50'000},     // brutal 25 % loss
                       TcpLossCase{7, 1'000}),     // tiny transfer, early loss
-    [](const auto& info) {
-      return "drop" + std::to_string(info.param.drop_every_nth) + "_bytes" +
-             std::to_string(info.param.bytes);
+    [](const auto& suite_info) {
+      return "drop" + std::to_string(suite_info.param.drop_every_nth) + "_bytes" +
+             std::to_string(suite_info.param.bytes);
     });
 
 // --------------------------------------------- migration-transparency sweep
@@ -139,12 +139,12 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(mig::SocketMigStrategy::iterative,
                                          mig::SocketMigStrategy::collective,
                                          mig::SocketMigStrategy::incremental_collective)),
-    [](const auto& info) {
-      std::string name = mig::strategy_name(std::get<1>(info.param));
+    [](const auto& suite_info) {
+      std::string name = mig::strategy_name(std::get<1>(suite_info.param));
       for (char& c : name) {
         if (c == '-') c = '_';
       }
-      return "n" + std::to_string(std::get<0>(info.param)) + "_" + name;
+      return "n" + std::to_string(std::get<0>(suite_info.param)) + "_" + name;
     });
 
 // ------------------------------------------------- load-balancing convergence
@@ -181,8 +181,8 @@ TEST_P(LbConvergence, EqualizesAnyInitialSplit) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Splits, LbConvergence, ::testing::Values(4, 6, 10),
-                         [](const auto& info) {
-                           return "procs" + std::to_string(info.param);
+                         [](const auto& suite_info) {
+                           return "procs" + std::to_string(suite_info.param);
                          });
 
 }  // namespace

@@ -165,7 +165,7 @@ TEST(TcpData, ThroughputNearLineRate) {
   client->send(Buffer(4'000'000, 7));
   h.engine.run();
   const double secs = (h.engine.now() - start).to_sec();
-  const double gbps = received * 8 / secs / 1e9;
+  const double gbps = static_cast<double>(received) * 8 / secs / 1e9;
   EXPECT_GT(gbps, 0.70);  // should reach a good fraction of the 1 Gb/s link
   EXPECT_LT(gbps, 1.0);
 }

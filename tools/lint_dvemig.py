@@ -36,6 +36,21 @@ phase-span
     The phase enum and the span tree are two views of the same state machine;
     a phase transition without the matching trace span silently disappears
     from the Chrome-trace/Perfetto timeline the benches and CI archive.
+    The assignment is matched across line breaks (``phase_ =`` on one line,
+    ``Phase::...`` on the next is still a transition).
+
+serializer-symmetry
+    Every serialize/deserialize pair (``serialize*``/``deserialize*`` methods,
+    ``write_X``/``read_X`` free helpers) defined in the same file must put and
+    get the *same sequence of wire fields*. The bodies are tokenized into
+    their BinaryWriter/BinaryReader operations — ``w.u32`` must line up with
+    ``r.u32``, ``w.blob`` with ``r.blob``, raw ``bytes``/``write_struct_pad``
+    with ``r.skip``, ``write_endpoint`` with ``read_endpoint``, and nested
+    ``serialize_X(w)`` calls with ``deserialize_X(r)`` — and any divergence is
+    a wire-format bug: the reader consumes garbage from that field onward.
+    This is how the checkpoint images (src/ckpt/image.cpp), socket images
+    (src/mig/socket_image.cpp) and protocol payloads stay decodable; a field
+    added to one side only corrupts every migration silently.
 
 Exit status is nonzero if any violation is found. Usage:
     tools/lint_dvemig.py [--root REPO_ROOT] [file ...]
@@ -67,8 +82,19 @@ RE_LEN_READ = re.compile(
 )
 RE_PAIRS = [("ehash_insert", "ehash_remove"), ("bhash_insert", "bhash_remove")]
 
+# Searched over the whole file text (not per line): the assignment regularly
+# wraps, e.g. `phase_ =\n    Phase::freeze;`, and a per-line scan silently
+# missed those transitions.
 RE_PHASE_WRITE = re.compile(r"\bphase_?\s*=\s*(?:\w+::)*Phase::\w+")
 RE_SPAN_OP = re.compile(r"OBS_SPAN|[Ss]pan|tracer\s*\(\)|obs::")
+
+# serializer-symmetry: function definitions taking a BinaryWriter&/BinaryReader&
+# whose name marks them as one half of a wire-format pair.
+RE_SERIAL_FN = re.compile(
+    r"\b((?:\w+::)*)(serialize\w*|deserialize\w*|write_\w+|read_\w+)"
+    r"\s*\(\s*Binary(Writer|Reader)\s*&\s*(\w+)"
+)
+SERIAL_PRIMS = "u8|u16|u32|u64|i32|i64|f64|str|blob|bytes|skip"
 
 # How far (in lines) an allocation may sit from the length read it consumes.
 SCAN_WINDOW = 40
@@ -85,6 +111,59 @@ def module_of(rel: str) -> str:
     """src/mig/migd.cpp -> src/mig; anything else -> its parent directory."""
     parts = rel.split("/")
     return "/".join(parts[:2]) if len(parts) > 2 else parts[0]
+
+
+def extract_body(text: str, open_brace: int) -> str:
+    """Return the brace-balanced body starting at text[open_brace] == '{'."""
+    depth = 0
+    for i in range(open_brace, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[open_brace + 1 : i]
+    return text[open_brace + 1 :]  # unbalanced (truncated file): best effort
+
+
+def normalize_serial_name(name: str) -> str:
+    """deserialize_static -> serialize_static, read_endpoint -> write_endpoint."""
+    if name.startswith("deserialize"):
+        return "serialize" + name[len("deserialize") :]
+    if name.startswith("read_"):
+        return "write_" + name[len("read_") :]
+    return name
+
+
+def wire_tokens(body: str, var: str) -> list[tuple[str, int]]:
+    """The ordered wire operations a serializer body performs through `var`.
+
+    Returns (token, offset) pairs. Tokens are normalized so a writer and its
+    reader produce identical streams when the formats agree:
+      w.u32(..)            <-> r.u32()             -> 'u32' (etc. for prims)
+      w.bytes(..) / pads   <-> r.skip(..)          -> 'raw'
+      write_endpoint(w,..) <-> read_endpoint(r)    -> 'endpoint'
+      x.serialize_foo(w)   <-> x.deserialize_foo(r)-> 'call:serialize_foo'
+    """
+    v = re.escape(var)
+    rx = re.compile(
+        rf"\b{v}\s*\.\s*(?P<prim>{SERIAL_PRIMS})\s*\("
+        rf"|\b(?:write|read)_(?P<helper>\w+)\s*\(\s*{v}\b"
+        rf"|\b(?P<call>(?:de)?serialize\w*)\s*\(\s*{v}\b"
+    )
+    tokens: list[tuple[str, int]] = []
+    for m in rx.finditer(body):
+        if m.group("prim"):
+            t = m.group("prim")
+            tokens.append(("raw" if t in ("bytes", "skip") else t, m.start()))
+        elif m.group("helper"):
+            h = m.group("helper")
+            tokens.append(("raw" if h == "struct_pad" else h, m.start()))
+        else:
+            tokens.append(
+                ("call:" + normalize_serial_name(m.group("call")), m.start())
+            )
+    return tokens
 
 
 def lint_file(
@@ -144,11 +223,26 @@ def lint_file(
                     )
                 break
 
-    # --- phase-span ---
+    # Offset of each line's first character in `text`, for mapping whole-text
+    # regex matches back to 1-based line numbers.
+    line_starts = [0]
+    for l in lines:
+        line_starts.append(line_starts[-1] + len(l) + 1)
+
+    def line_of(offset: int) -> int:
+        lo, hi = 0, len(lines) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if line_starts[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1
+
+    # --- phase-span --- (matched on the joined text: the assignment can wrap)
     if rel.startswith("src/mig/"):
-        for i, line in enumerate(lines, 1):
-            if not RE_PHASE_WRITE.search(line):
-                continue
+        for m in RE_PHASE_WRITE.finditer(text):
+            i = line_of(m.start())
             lo = max(0, i - 1 - PHASE_SPAN_WINDOW)
             hi = min(len(lines), i + PHASE_SPAN_WINDOW)
             if not any(RE_SPAN_OP.search(l) for l in lines[lo:hi]):
@@ -157,6 +251,42 @@ def lint_file(
                     "adjacent span begin/end — keep the trace timeline and "
                     "the phase enum in lockstep (see src/obs/span.hpp)"
                 )
+
+    # --- serializer-symmetry ---
+    serial_fns: dict[str, dict[str, tuple[list[tuple[str, int]], int]]] = {}
+    for m in RE_SERIAL_FN.finditer(text):
+        # Definition, not declaration/call: an opening brace before the next
+        # semicolon. (Calls never name the Binary* type, declarations end ';'.)
+        brace = text.find("{", m.end())
+        semi = text.find(";", m.end())
+        if brace == -1 or (semi != -1 and semi < brace):
+            continue
+        body = extract_body(text, brace)
+        side = "writer" if m.group(3) == "Writer" else "reader"
+        key = m.group(1) + normalize_serial_name(m.group(2))
+        tokens = [(t, off + brace + 1) for t, off in wire_tokens(body, m.group(4))]
+        # First definition wins (a name reused across classes in one file is
+        # keyed by its qualifier, so collisions mean identical re-definitions).
+        serial_fns.setdefault(key, {}).setdefault(
+            side, (tokens, brace + 1)
+        )
+    for key, sides in sorted(serial_fns.items()):
+        if "writer" not in sides or "reader" not in sides:
+            continue  # the pair may live in another file (or not exist yet)
+        wtok, _ = sides["writer"]
+        rtok, rbody_off = sides["reader"]
+        for i in range(max(len(wtok), len(rtok))):
+            put = wtok[i][0] if i < len(wtok) else "<end>"
+            get = rtok[i][0] if i < len(rtok) else "<end>"
+            if put == get:
+                continue
+            at = line_of(rtok[i][1] if i < len(rtok) else rbody_off)
+            problems.append(
+                f"{rel}:{at}: [serializer-symmetry] {key}: wire field #{i} is "
+                f"written as '{put}' but read as '{get}' — the decoder "
+                "consumes garbage from this field onward"
+            )
+            break
 
     # --- hash-pairing (collected per file, judged per module in main) ---
     if not rel.startswith("tests/"):
