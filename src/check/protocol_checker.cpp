@@ -23,12 +23,13 @@ void ProtocolChecker::on_frame(const void* chan, bool outbound, MsgType type) {
   frames_seen_ += 1;
   Chan& st = channels_[chan];
 
-  // Role inference: the first frame on a well-formed channel is mig_begin, and
-  // only the source emits it. The only other legal opener is mig_abort (a dest
-  // that rejected an unparseable stream before ever seeing mig_begin).
+  // Role inference: the first frame on a well-formed channel is mig_begin
+  // (primary) or stripe_hello (secondary stripe channel), and only the source
+  // emits either. The only other legal opener is mig_abort (a dest that
+  // rejected an unparseable stream before ever seeing mig_begin).
   const bool first = st.role == Role::unknown && !st.begun && !st.aborted;
   if (first) {
-    if (type == MsgType::mig_begin) {
+    if (type == MsgType::mig_begin || type == MsgType::stripe_hello) {
       st.role = outbound ? Role::source : Role::dest;
     } else if (type != MsgType::mig_abort) {
       violation(chan, "protocol.first-frame", st, outbound, type,
@@ -55,6 +56,15 @@ void ProtocolChecker::on_frame(const void* chan, bool outbound, MsgType type) {
 
   // Direction of this frame in protocol terms: true = source-to-dest.
   const bool s2d = (st.role == Role::source) == outbound;
+
+  // A stripe channel carries only stripe segments (plus the terminal mig_abort
+  // already handled above). Control frames and replies stay on the primary.
+  if (st.is_stripe && type != MsgType::stripe_seg &&
+      type != MsgType::stripe_hello) {
+    violation(chan, "protocol.frame-on-stripe-channel", st, outbound, type,
+              "only stripe segments travel on a stripe channel");
+    return;
+  }
 
   auto require_s2d = [&](bool want) {
     if (st.role == Role::unknown) return true;  // cannot judge direction
@@ -159,6 +169,25 @@ void ProtocolChecker::on_frame(const void* chan, bool outbound, MsgType type) {
         violation(chan, "protocol.resume-before-image", st, outbound, type, "");
       }
       st.resumed = true;
+      return;
+
+    case MsgType::stripe_hello:
+      require_s2d(true);
+      if (!first) {
+        violation(chan, "protocol.stripe-hello-misplaced", st, outbound, type,
+                  "stripe_hello must be the channel's first frame");
+      }
+      st.is_stripe = true;
+      return;
+
+    case MsgType::stripe_seg:
+      require_s2d(true);
+      // Legal on a declared stripe channel, and on the primary once the
+      // migration has begun (the primary doubles as stripe 0 at degree > 1).
+      if (!st.is_stripe && !st.begun) {
+        violation(chan, "protocol.stripe-seg-unexpected", st, outbound, type,
+                  "stripe segment without stripe_hello or mig_begin");
+      }
       return;
 
     case MsgType::mig_abort:

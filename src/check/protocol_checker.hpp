@@ -49,6 +49,7 @@ class ProtocolChecker {
   struct Chan {
     Role role{Role::unknown};
     bool begun{false};         // mig_begin observed
+    bool is_stripe{false};     // stripe_hello opened the channel (data-only)
     bool image_seen{false};    // process_image observed (freeze is committed)
     bool resumed{false};       // resume_done observed
     bool aborted{false};       // mig_abort observed (terminal)

@@ -54,4 +54,25 @@ MemoryDelta DirtyTracker::round(proc::AddressSpace& mem) {
   return delta;
 }
 
+std::vector<DirtyTracker::ShardRange> DirtyTracker::shard_ranges(std::size_t count,
+                                                                 std::size_t workers) {
+  std::vector<ShardRange> out;
+  if (count == 0 || workers == 0) return out;
+  const std::size_t shards = std::min(count, workers);
+  const std::size_t base = count / shards;
+  const std::size_t extra = count % shards;  // first `extra` shards get one more
+  std::size_t at = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t len = base + (s < extra ? 1 : 0);
+    out.push_back(ShardRange{at, at + len});
+    at += len;
+  }
+  return out;
+}
+
+std::size_t DirtyTracker::max_shard(std::size_t count, std::size_t workers) {
+  if (count == 0 || workers == 0) return 0;
+  return (count + workers - 1) / workers;
+}
+
 }  // namespace dvemig::ckpt

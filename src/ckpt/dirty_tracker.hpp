@@ -24,6 +24,20 @@ class DirtyTracker {
   /// Number of rounds performed so far.
   std::size_t rounds() const { return rounds_; }
 
+  /// Contiguous near-equal partition of `count` items across at most `workers`
+  /// shards (the parallel data path's static work-split: deterministic, no
+  /// balancing decisions at runtime). Returns only non-empty shards, the first
+  /// `count % workers` of them one item larger.
+  struct ShardRange {
+    std::size_t begin{0};
+    std::size_t end{0};  // exclusive
+    std::size_t size() const { return end - begin; }
+  };
+  static std::vector<ShardRange> shard_ranges(std::size_t count, std::size_t workers);
+
+  /// Size of the largest shard: ceil(count / workers); 0 when count == 0.
+  static std::size_t max_shard(std::size_t count, std::size_t workers);
+
  private:
   std::vector<VmAreaImage> tracked_areas_;  // "our own tracking structures"
   std::size_t rounds_{0};

@@ -108,6 +108,15 @@ class BinaryReader {
     return out;
   }
 
+  /// View of the next `n` bytes without copying; advances the cursor. The view
+  /// aliases the reader's backing storage and must not outlive it.
+  std::span<const std::uint8_t> span(std::size_t n) {
+    DVEMIG_EXPECTS(pos_ + n <= data_.size());
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
   /// Skip `n` bytes (e.g. page payloads whose content the simulator ignores).
   void skip(std::size_t n) {
     DVEMIG_EXPECTS(pos_ + n <= data_.size());

@@ -19,6 +19,7 @@ namespace {
 struct PresetPlan {
   bool tcp_workload{false};  // zone server + TCP client (else UDP game server)
   bool live{false};          // precopy live migration vs stop-and-copy
+  int parallelism{1};        // striped data path degree (MigrationConfig)
   FaultConfig faults{};
   SimDuration choice_window{SimTime::microseconds(50)};
   std::size_t max_ready{3};
@@ -30,6 +31,14 @@ std::optional<PresetPlan> plan_for(const std::string& preset) {
   if (preset == "handshake") return p;
   if (preset == "precopy") {
     p.live = true;
+    return p;
+  }
+  if (preset == "stripe") {
+    // Striped data path: live precopy with two stripe channels, no faults —
+    // explores stripe connect / reassembly interleavings against the same
+    // oracles as "precopy".
+    p.live = true;
+    p.parallelism = 2;
     return p;
   }
   if (preset == "freeze") {
@@ -92,8 +101,8 @@ std::uint64_t world_hash(dve::Testbed& world) {
 }  // namespace
 
 const std::vector<std::string>& preset_names() {
-  static const std::vector<std::string> names{"handshake", "precopy", "freeze",
-                                              "crash"};
+  static const std::vector<std::string> names{"handshake", "precopy", "stripe",
+                                              "freeze", "crash"};
   return names;
 }
 
@@ -224,6 +233,7 @@ RunResult run_scenario(const std::string& preset, mig::ProtocolMutation mutation
   mig::MigrationStats stats;
   mig::MigrateOptions opts;
   opts.live = plan->live;
+  opts.config.parallelism = plan->parallelism;
   const Pid pid = proc->pid();
   const bool started = world.node(0).migd.migrate(
       pid, world.node(1).node.local_addr(), opts,

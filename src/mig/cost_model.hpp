@@ -35,6 +35,11 @@ struct CostModel {
   // --- memory / process work ---
   /// Gather one dirty page into the transfer buffer.
   std::int64_t page_copy_ns{700};
+  /// Serialize/delta-encode one byte of transfer payload in the parallel
+  /// pipeline's middle stage. Only charged when MigrationConfig::parallelism
+  /// > 1 — the serial (degree-1) path folds this into page_copy_ns, keeping
+  /// its cost profile byte-for-byte identical to the pre-parallel code.
+  double per_byte_serialize_ns{0.02};
   /// Freeze-phase process metadata work (fd table walk, thread regs, barrier).
   std::int64_t process_meta_ns{150'000};
   /// Destination-side process reconstruction (before socket attach).

@@ -25,6 +25,8 @@ struct MigMetrics {
   obs::Counter& completed;
   obs::Counter& failed;
   obs::Counter& restores;
+  obs::Counter& stripe_segments;
+  obs::Counter& stripe_bytes;
   obs::Histogram& freeze_time_us;
   obs::Histogram& total_time_us;
   obs::Histogram& precopy_rounds;
@@ -37,6 +39,8 @@ struct MigMetrics {
         reg.counter("mig.migrations_completed"),
         reg.counter("mig.migrations_failed"),
         reg.counter("mig.restores_completed"),
+        reg.counter("mig.stripe_segments"),
+        reg.counter("mig.stripe_bytes"),
         reg.histogram("mig.freeze_time_us", obs::default_latency_bounds_us()),
         reg.histogram("mig.total_time_us", obs::default_latency_bounds_us()),
         reg.histogram("mig.precopy_rounds", {1, 2, 4, 8, 16, 32, 64}),
@@ -162,10 +166,15 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
   SourceSession(Migd& owner, std::shared_ptr<proc::Process> proc,
                 net::Ipv4Addr dest, MigrateOptions options)
       : owner_(&owner), node_(&owner.node()), proc_(std::move(proc)), dest_(dest) {
+    config_ = options.config;
+    config_.parallelism = std::clamp(config_.parallelism, 1, kMaxParallelism);
+    config_.pipeline_depth = std::max(config_.pipeline_depth, 1);
+    config_.stripe_chunk_bytes = std::max<std::uint32_t>(config_.stripe_chunk_bytes, 4096);
     stats_.pid = proc_->pid();
     stats_.proc_name = proc_->name();
     stats_.strategy = options.strategy;
     stats_.live = options.live;
+    stats_.parallelism = config_.parallelism;
     stats_.src_node = node_->local_addr();
     stats_.dst_node = dest;
     loop_timeout_ns_ = owner_->cm_.initial_loop_timeout_ns;
@@ -221,6 +230,17 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
   void detach_callbacks() {
     connect_timer_.cancel();
     watchdog_.cancel();
+    if (stripes_) stripes_->detach_callbacks();
+    on_stripes_ready_ = nullptr;
+    for (auto& ch : stripe_channels_) {
+      ch->set_on_frame(nullptr);
+      ch->set_on_error(nullptr);
+    }
+    for (auto& s : stripe_socks_) {
+      s->set_on_connected(nullptr);
+      s->set_on_reset(nullptr);
+      s->set_on_drained(nullptr);
+    }
     if (channel_) {
       channel_->set_on_frame(nullptr);
       channel_->set_on_error(nullptr);
@@ -248,11 +268,20 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
 
   /// Spend `d` of (kernel/helper-thread) CPU, then continue.
   void after(SimDuration d, std::function<void()> fn) {
-    node_->cpu().account(kKernelPid, d);
-    engine().schedule_after(d, [self = shared_from_this(), fn = std::move(fn)] {
-      (void)self;
-      fn();
-    });
+    after_parallel(d, d, std::move(fn));
+  }
+
+  /// Parallel stage: `cpu` of total work spread over the worker pool, whose
+  /// slowest shard finishes after `elapsed`. The CPU meter is charged the full
+  /// serial amount (the work does not shrink, it spreads), the continuation
+  /// runs at the makespan. With cpu == elapsed this is the serial after().
+  void after_parallel(SimDuration cpu, SimDuration elapsed, std::function<void()> fn) {
+    node_->cpu().account(kKernelPid, cpu);
+    engine().schedule_after(elapsed,
+                            [self = shared_from_this(), fn = std::move(fn)] {
+                              (void)self;
+                              fn();
+                            });
   }
 
   /// finish()/fail() run inside channel or socket callbacks; detach on a
@@ -296,6 +325,7 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
     if (proc_->frozen()) proc_->resume();  // best effort: keep the source alive
     stats_.success = false;
     // Close the whole span tree inner-to-outer so depths unwind cleanly.
+    close_span(span_stripe_connect_);
     close_span(span_stage_);
     close_span(span_round_);
     close_span(span_precopy_);
@@ -310,8 +340,17 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
     // stealing the process's packets forever.
     if (channel_ && (sock_->state() == stack::TcpState::established ||
                      sock_->state() == stack::TcpState::close_wait)) {
+      // mig_abort bypasses the stripe queues on purpose: it must not wait
+      // behind megabytes of queued page data on a migration that is dead.
       channel_->send(MsgType::mig_abort, Buffer{});
     }
+    if (stripes_) {
+      auto& m = MigMetrics::get();
+      m.stripe_segments.add(stripes_->segments_sent());
+      m.stripe_bytes.add(stripes_->segment_bytes());
+    }
+    pending_frames_.clear();
+    for (auto& s : stripe_socks_) s->close();
     if (sock_) sock_->close();
     if (ctrl_) ctrl_->close();
     detach_later();
@@ -333,13 +372,21 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
       self->engine().schedule_after(SimTime::zero(),
                                     [self] { self->fail("malformed frame"); });
     });
+    mig_id_ = (std::uint64_t{node_->local_addr().value} << 20) | ++owner_->next_mig_id_;
     BinaryWriter w;
     w.u32(stats_.pid.value);
     w.str(proc_->name());
     w.u8(static_cast<std::uint8_t>(stats_.strategy));
     w.u32(node_->local_addr().value);
+    w.u64(mig_id_);
+    w.u8(static_cast<std::uint8_t>(config_.parallelism));
+    logical_sent_ += w.size() + 5;  // counted like any other logical frame
     channel_->send(MsgType::mig_begin, std::move(w));
     connect_timer_.cancel();
+    // Stripe connections are opened in the background; logical frames queue in
+    // send_frame() until the striped sender is up, so neither the precopy loop
+    // nor a stop-and-copy freeze waits on the extra handshakes.
+    if (config_.parallelism > 1) open_stripes();
     if (stats_.live) {
       span_precopy_ = tracer().begin(obs_track_, "mig.precopy");
       phase_ = Phase::precopy;
@@ -350,6 +397,72 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
       enter_freeze();
     }
   }
+
+  // ---------------- striped transfer (parallelism > 1) ----------------
+
+  void open_stripes() {
+    span_stripe_connect_ = tracer().begin(obs_track_, "mig.stripe_connect");
+    tracer().attr(span_stripe_connect_, "stripes",
+                  std::to_string(config_.parallelism - 1));
+    for (int i = 1; i < config_.parallelism; ++i) {
+      auto s = node_->stack().make_tcp();
+      s->bind(node_->local_addr(), 0);
+      s->set_on_connected([self = shared_from_this()] { self->on_stripe_connected(); });
+      s->set_on_reset(
+          [self = shared_from_this()] { self->fail("stripe connection reset"); });
+      s->connect(net::Endpoint{dest_, kMigdPort});
+      stripe_socks_.push_back(std::move(s));
+    }
+  }
+
+  void on_stripe_connected() {
+    stripes_connected_ += 1;
+    if (stripes_connected_ < config_.parallelism - 1) return;
+    close_span(span_stripe_connect_);
+    std::vector<FrameChannel*> chans;
+    chans.push_back(channel_.get());
+    for (auto& s : stripe_socks_) {
+      auto ch = std::make_unique<FrameChannel>(s);
+      // The destination never speaks on a stripe channel; any inbound frame or
+      // framing noise there is a broken transport.
+      ch->set_on_frame([self = shared_from_this()](MsgType, BinaryReader&) {
+        self->fail("unexpected frame on stripe channel");
+      });
+      ch->set_on_error([self = shared_from_this()](const char* reason) {
+        DVEMIG_WARN("migd", "pid %u stripe channel: %s", self->stats_.pid.value,
+                    reason);
+        self->engine().schedule_after(SimTime::zero(),
+                                      [self] { self->fail("malformed frame"); });
+      });
+      stripe_channels_.push_back(std::move(ch));
+      chans.push_back(stripe_channels_.back().get());
+    }
+    stripes_ = std::make_unique<StripeSender>(std::move(chans), mig_id_,
+                                              config_.stripe_chunk_bytes,
+                                              config_.pipeline_depth);
+    for (auto& [type, payload] : pending_frames_) stripes_->send(type, payload);
+    pending_frames_.clear();
+    if (on_stripes_ready_) std::exchange(on_stripes_ready_, nullptr)();
+  }
+
+  /// Route one logical frame to the destination: directly on the primary
+  /// channel at degree 1, through the striped sender otherwise (queued until
+  /// the stripe connections finish). `logical_sent_` counts the frame exactly
+  /// as FrameChannel would (payload + 5 framing bytes), so byte statistics are
+  /// identical at every parallelism degree.
+  void send_frame(MsgType type, Buffer payload) {
+    logical_sent_ += payload.size() + 5;
+    if (config_.parallelism > 1) {
+      if (stripes_) {
+        stripes_->send(type, payload);
+      } else {
+        pending_frames_.emplace_back(type, std::move(payload));
+      }
+      return;
+    }
+    channel_->send(type, payload);
+  }
+  void send_frame(MsgType type, BinaryWriter&& w) { send_frame(type, w.take()); }
 
   void on_frame(MsgType type, BinaryReader& r) {
     // A finished session can still see frames already in flight (a duplicated
@@ -388,14 +501,14 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
   void precopy_round() {
     span_round_ = tracer().begin(obs_track_, "mig.precopy_round");
     ckpt::MemoryDelta delta = mem_tracker_.round(proc_->mem());
-    SimDuration cost = SimTime::nanoseconds(
-        static_cast<std::int64_t>(delta.dirty_pages.size()) * cm().page_copy_ns);
+    const auto pages = static_cast<std::int64_t>(delta.dirty_pages.size());
+    SimDuration cost = SimTime::nanoseconds(pages * cm().page_copy_ns);
 
     // Incremental collective: track socket changes during precopy as well.
     BinaryWriter sock_buf;
     std::uint32_t sock_records = 0;
+    std::size_t scanned = 0;
     if (stats_.strategy == SocketMigStrategy::incremental_collective) {
-      std::size_t scanned = 0;
       for (const auto& [fd, file] : proc_->files().entries()) {
         if (file.kind != proc::FileKind::socket) continue;
         scanned += 1;
@@ -420,17 +533,50 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
                                     cm().per_byte_subtract_ns));
     }
 
-    after(cost, [this, delta = std::move(delta), sock_buf = std::move(sock_buf),
-                 sock_records]() mutable {
+    // Degree > 1: the scan shards across the worker pool (elapsed = largest
+    // shard) and feeds the serialize stage, which is charged explicitly (the
+    // serial path folds it into page_copy_ns). The CPU meter still pays the
+    // full serial totals — parallelism spreads work, it does not shrink it.
+    SimDuration elapsed = cost;
+    SimDuration cpu = cost;
+    const int par = config_.parallelism;
+    if (par > 1) {
+      const auto workers = static_cast<std::size_t>(par);
+      const auto page_shard = static_cast<std::int64_t>(
+          ckpt::DirtyTracker::max_shard(delta.dirty_pages.size(), workers));
+      const auto sock_shard = static_cast<std::int64_t>(
+          ckpt::DirtyTracker::max_shard(scanned, workers));
+      const double est_bytes =
+          static_cast<double>(delta.dirty_pages.size()) *
+              static_cast<double>(proc::kPageSize + 8) +
+          static_cast<double>(sock_buf.size());
+      const auto serialize_total = SimTime::nanoseconds(
+          static_cast<std::int64_t>(est_bytes * cm().per_byte_serialize_ns));
+      const auto serialize_shard = SimTime::nanoseconds(static_cast<std::int64_t>(
+          est_bytes * cm().per_byte_serialize_ns / static_cast<double>(par)));
+      elapsed = SimTime::nanoseconds(
+                    page_shard * cm().page_copy_ns +
+                    sock_shard * cm().socket_delta_check_ns +
+                    static_cast<std::int64_t>(
+                        static_cast<double>(sock_buf.size()) *
+                        cm().per_byte_subtract_ns / static_cast<double>(par))) +
+                serialize_shard;
+      cpu = cost + serialize_total;
+      tracer().attr(span_round_, "shards", std::to_string(par));
+    }
+
+    after_parallel(cpu, elapsed, [this, delta = std::move(delta),
+                                  sock_buf = std::move(sock_buf),
+                                  sock_records]() mutable {
       BinaryWriter w;
       delta.serialize(w);
-      channel_->send(MsgType::memory_delta, std::move(w));
+      send_frame(MsgType::memory_delta, std::move(w));
       if (sock_records > 0) {
         BinaryWriter w2;
         w2.u32(sock_records);
         w2.bytes(sock_buf.buffer());
         stats_.precopy_socket_bytes += w2.size();
-        channel_->send(MsgType::socket_state, std::move(w2));
+        send_frame(MsgType::socket_state, std::move(w2));
       }
       stats_.precopy_rounds += 1;
       tracer().attr(span_round_, "round", std::to_string(stats_.precopy_rounds));
@@ -468,6 +614,20 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
   }
 
   void wait_for_drain(std::function<void()> fn) {
+    if (config_.parallelism > 1) {
+      // The striped sender owns every channel's drain callback; "drained"
+      // means all queues flushed and all stripe sockets fully ACKed. Frames
+      // may still be parked waiting for the stripe connections — then drain
+      // completion is re-armed the moment the sender comes up.
+      if (!stripes_) {
+        on_stripes_ready_ = [self = shared_from_this(), fn = std::move(fn)]() mutable {
+          self->stripes_->when_drained(std::move(fn));
+        };
+        return;
+      }
+      stripes_->when_drained(std::move(fn));
+      return;
+    }
     if (sock_->drained()) {
       fn();
       return;
@@ -487,7 +647,12 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
     span_freeze_ = tracer().begin(obs_track_, "mig.freeze");
     phase_ = Phase::freeze;
     stats_.t_freeze_begin = engine().now();  // == the span's begin instant
-    stats_.precopy_channel_bytes = channel_->bytes_sent();
+    // Striped transfers count logical frame bytes (payload + framing) — the
+    // same quantity FrameChannel::bytes_sent() measures at degree 1, summed
+    // across channels and without the stripe segment headers, so the byte
+    // statistics are comparable (and equal, by test) at every degree.
+    stats_.precopy_channel_bytes =
+        config_.parallelism > 1 ? logical_sent_ : channel_->bytes_sent();
     proc_->freeze();
 
     // Gather the fd-ordered socket list (BLCR's fd table iteration).
@@ -559,7 +724,7 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
       close_span(span_stage_);
       then();
     };
-    channel_->send(MsgType::capture_request, std::move(w));
+    send_frame(MsgType::capture_request, std::move(w));
   }
 
   /// In-cluster connections need a translation filter on the peer before the
@@ -666,7 +831,7 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
             iter_idx_ += 1;
             iterative_next();
           };
-          channel_->send(MsgType::socket_state, std::move(w));
+          send_frame(MsgType::socket_state, std::move(w));
         });
       });
     });
@@ -697,29 +862,55 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
     const bool force = stats_.strategy == SocketMigStrategy::collective;
     BinaryWriter buf;
     std::uint32_t records = 0;
-    for (const MigSocket& ms : sockets_) records += emit_socket(ms, buf, force);
+    // Per-socket record sizes, kept so the parallel path can price each
+    // worker's batch. The emit itself stays serial in fd order — the unified
+    // buffer is byte-identical at every degree; workers merely partition it.
+    std::vector<std::size_t> record_bytes;
+    record_bytes.reserve(sockets_.size());
+    for (const MigSocket& ms : sockets_) {
+      const std::size_t before = buf.size();
+      records += emit_socket(ms, buf, force);
+      record_bytes.push_back(buf.size() - before);
+    }
 
-    // Incremental tracking already paid the per-socket walk during precopy; the
-    // freeze-phase check is a cheap hash compare per socket.
-    const SimDuration cost =
-        force ? cm().subtract_cost(sockets_.size(), buf.size())
-              : SimTime::nanoseconds(
-                    static_cast<std::int64_t>(sockets_.size()) *
-                        cm().socket_delta_check_ns +
-                    static_cast<std::int64_t>(static_cast<double>(buf.size()) *
-                                              cm().per_byte_subtract_ns));
+    const auto batch_cost = [&](std::size_t n_socks, std::size_t n_bytes) {
+      // Incremental tracking already paid the per-socket walk during precopy;
+      // the freeze-phase check is a cheap hash compare per socket.
+      return force ? cm().subtract_cost(n_socks, n_bytes)
+                   : SimTime::nanoseconds(
+                         static_cast<std::int64_t>(n_socks) *
+                             cm().socket_delta_check_ns +
+                         static_cast<std::int64_t>(static_cast<double>(n_bytes) *
+                                                   cm().per_byte_subtract_ns));
+    };
+    const SimDuration cost = batch_cost(sockets_.size(), buf.size());
+    SimDuration elapsed = cost;
+    if (config_.parallelism > 1) {
+      // Workers subtract contiguous fd-order batches; the merge into the
+      // unified buffer preserves that order. Elapsed = slowest batch.
+      elapsed = SimTime::zero();
+      for (const auto& shard : ckpt::DirtyTracker::shard_ranges(
+               sockets_.size(), static_cast<std::size_t>(config_.parallelism))) {
+        std::size_t shard_bytes = 0;
+        for (std::size_t i = shard.begin; i < shard.end; ++i) {
+          shard_bytes += record_bytes[i];
+        }
+        elapsed = std::max(elapsed, batch_cost(shard.size(), shard_bytes));
+      }
+      tracer().attr(span_stage_, "shards", std::to_string(config_.parallelism));
+    }
     DVEMIG_DEBUG("migd", "pid %u subtract: %u records, %zu bytes", stats_.pid.value,
                  records, buf.size());
     tracer().attr(span_stage_, "records", std::to_string(records));
     tracer().attr(span_stage_, "bytes", std::to_string(buf.size()));
-    after(cost, [this, buf = std::move(buf), records]() mutable {
+    after_parallel(cost, elapsed, [this, buf = std::move(buf), records]() mutable {
       close_span(span_stage_);
       if (records > 0) {
         BinaryWriter w;
         w.u32(records);
         w.bytes(buf.buffer());
         stats_.freeze_socket_bytes += w.size();
-        channel_->send(MsgType::socket_state, std::move(w));
+        send_frame(MsgType::socket_state, std::move(w));
       }
       final_transfer();
     });
@@ -735,23 +926,41 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
     const SimDuration cost = SimTime::nanoseconds(
         static_cast<std::int64_t>(delta.dirty_pages.size()) * cm().page_copy_ns +
         cm().process_meta_ns);
-    after(cost, [this, delta = std::move(delta)]() mutable {
+    SimDuration elapsed = cost;
+    SimDuration cpu = cost;
+    if (config_.parallelism > 1) {
+      const auto workers = static_cast<std::size_t>(config_.parallelism);
+      const auto page_shard = static_cast<std::int64_t>(
+          ckpt::DirtyTracker::max_shard(delta.dirty_pages.size(), workers));
+      const double est_bytes = static_cast<double>(delta.dirty_pages.size()) *
+                               static_cast<double>(proc::kPageSize + 8);
+      const auto serialize_total = SimTime::nanoseconds(
+          static_cast<std::int64_t>(est_bytes * cm().per_byte_serialize_ns));
+      elapsed = SimTime::nanoseconds(
+          page_shard * cm().page_copy_ns + cm().process_meta_ns +
+          static_cast<std::int64_t>(est_bytes * cm().per_byte_serialize_ns /
+                                    static_cast<double>(config_.parallelism)));
+      cpu = cost + serialize_total;
+      tracer().attr(span_stage_, "shards", std::to_string(config_.parallelism));
+    }
+    after_parallel(cpu, elapsed, [this, delta = std::move(delta)]() mutable {
       close_span(span_stage_);
       BinaryWriter wm;
       delta.serialize(wm);
-      channel_->send(MsgType::memory_delta, std::move(wm));
+      send_frame(MsgType::memory_delta, std::move(wm));
 
       const ckpt::ProcessImage img = ckpt::snapshot_process(*proc_);
       BinaryWriter wi;
       img.serialize(wi);
-      channel_->send(MsgType::process_image, std::move(wi));
+      send_frame(MsgType::process_image, std::move(wi));
       // Now await resume_done.
     });
   }
 
   void finish(SimTime t_resume) {
     stats_.freeze_channel_bytes =
-        channel_->bytes_sent() - stats_.precopy_channel_bytes;
+        (config_.parallelism > 1 ? logical_sent_ : channel_->bytes_sent()) -
+        stats_.precopy_channel_bytes;
     stats_.success = true;
 
     // The stats' freeze window is *derived from the span tree*: the span is
@@ -772,6 +981,10 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
     m.completed.add(1);
     m.freeze_bytes.add(stats_.freeze_channel_bytes);
     m.precopy_bytes.add(stats_.precopy_channel_bytes);
+    if (stripes_) {
+      m.stripe_segments.add(stripes_->segments_sent());
+      m.stripe_bytes.add(stripes_->segment_bytes());
+    }
     m.freeze_time_us.record(static_cast<double>(stats_.freeze_time().ns) / 1e3);
     m.total_time_us.record(static_cast<double>(stats_.total_time().ns) / 1e3);
     m.precopy_rounds.record(stats_.precopy_rounds);
@@ -783,6 +996,7 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
       }
     }
     node_->kill(stats_.pid);
+    for (auto& s : stripe_socks_) s->close();
     sock_->close();
     ctrl_->close();
     detach_later();
@@ -794,12 +1008,25 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
   std::shared_ptr<proc::Process> proc_;
   net::Ipv4Addr dest_;
   MigrationStats stats_;
+  MigrationConfig config_;
 
   stack::TcpSocket::Ptr sock_;
   std::unique_ptr<FrameChannel> channel_;
   std::shared_ptr<stack::UdpSocket> ctrl_;
   sim::TimerHandle connect_timer_;
   sim::TimerHandle watchdog_;
+
+  // Striped transfer (parallelism > 1). The sender is declared after the
+  // channels it references so destruction detaches it first.
+  std::uint64_t mig_id_{0};
+  std::vector<stack::TcpSocket::Ptr> stripe_socks_;
+  std::vector<std::unique_ptr<FrameChannel>> stripe_channels_;
+  std::unique_ptr<StripeSender> stripes_;
+  std::vector<std::pair<MsgType, Buffer>> pending_frames_;  // pre-stripe-connect
+  std::function<void()> on_stripes_ready_;
+  int stripes_connected_{0};
+  std::uint64_t logical_sent_{0};  // logical frame bytes incl. framing
+  obs::SpanId span_stripe_connect_{0};
 
   ckpt::DirtyTracker mem_tracker_;
   SocketDeltaTracker sock_tracker_;
@@ -882,11 +1109,17 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
   const CostModel& cm() const { return owner_->cm_; }
 
   void after(SimDuration d, std::function<void()> fn) {
-    node_->cpu().account(kKernelPid, d);
-    engine().schedule_after(d, [self = shared_from_this(), fn = std::move(fn)] {
-      (void)self;
-      fn();
-    });
+    after_parallel(d, d, std::move(fn));
+  }
+
+  /// See SourceSession::after_parallel: serial CPU charge, parallel makespan.
+  void after_parallel(SimDuration cpu, SimDuration elapsed, std::function<void()> fn) {
+    node_->cpu().account(kKernelPid, cpu);
+    engine().schedule_after(elapsed,
+                            [self = shared_from_this(), fn = std::move(fn)] {
+                              (void)self;
+                              fn();
+                            });
   }
 
   /// Common failure teardown: drop armed capture filters, optionally tell the
@@ -895,6 +1128,25 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
   /// is deferred one event because this runs inside channel/socket callbacks.
   void teardown(const char* why, bool notify_peer) {
     if (tearing_down_) return;
+    if (is_feeder_) {
+      // A stripe feeder owns no capture session or staged state; retire
+      // quietly. But a feeder dying mid-migration (channel error, reset) dooms
+      // the main session's transfer — propagate before retiring. After the
+      // main session resumed (or already died) this is the normal close path.
+      tearing_down_ = true;
+      DVEMIG_DEBUG("migd", "stripe feeder %u on %s retired: %s",
+                   static_cast<unsigned>(stripe_index_), node_->name().c_str(),
+                   why);
+      if (auto main = owner_->find_dest_main(mig_id_)) {
+        main->teardown("stripe channel lost", notify_peer);
+      }
+      engine().schedule_after(SimTime::zero(), [self = shared_from_this()] {
+        self->sock_->close();
+        self->detach_callbacks();
+        self->owner_->release_dest_session(self.get());
+      });
+      return;
+    }
     if (resumed_) {
       // The migration is already committed on this side — the process is
       // adopted and running, captured packets reinjected. A channel error now
@@ -928,6 +1180,75 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
     // A retired (or retiring) session can still see frames already in flight;
     // they belong to a migration that no longer exists.
     if (tearing_down_ || resumed_) return;
+    if (is_feeder_) return on_feeder_frame(type, r);
+    if (type == MsgType::stripe_hello) {
+      // A stripe channel's opening frame turns this session into a feeder: it
+      // owns no migration state and forwards segments to the main session.
+      if (begun_) {
+        teardown("stripe_hello on main channel", /*notify_peer=*/true);
+        return;
+      }
+      if (r.remaining() < 9) {
+        teardown("malformed stripe_hello", /*notify_peer=*/true);
+        return;
+      }
+      mig_id_ = r.u64();
+      stripe_index_ = r.u8();
+      is_feeder_ = true;
+      return;
+    }
+    if (type == MsgType::stripe_seg) {
+      on_stripe_segment(r);
+      return;
+    }
+    on_logical_frame(type, r);
+  }
+
+  /// Segments from any channel of this migration (the primary's arrive via
+  /// on_frame, the feeders' are forwarded) meet in the reassembler.
+  void on_stripe_segment(BinaryReader& r) {
+    if (tearing_down_ || resumed_) return;
+    if (!begun_ || !reasm_) {
+      teardown("unexpected stripe segment", /*notify_peer=*/true);
+      return;
+    }
+    reasm_->on_segment(r);
+  }
+
+  void on_feeder_frame(MsgType type, BinaryReader& r) {
+    if (type != MsgType::stripe_seg) {
+      teardown("unexpected frame on stripe channel", /*notify_peer=*/false);
+      return;
+    }
+    auto main = owner_->find_dest_main(mig_id_);
+    if (!main) {
+      if (attached_once_) return;  // the migration already ended; late noise
+      // Segments racing ahead of the primary channel's mig_begin (possible
+      // under reordered delivery) park here until the main session appears.
+      if (parked_segments_.size() >= kMaxParkedSegments) {
+        teardown("stripe segment backlog before mig_begin", /*notify_peer=*/false);
+        return;
+      }
+      const auto rest = r.span(r.remaining());
+      parked_segments_.emplace_back(rest.begin(), rest.end());
+      return;
+    }
+    attached_once_ = true;
+    main->on_stripe_segment(r);
+  }
+
+  /// Replay segments parked before the main session's mig_begin arrived.
+  void drain_parked(DestSession& main) {
+    for (const Buffer& seg : parked_segments_) {
+      BinaryReader r({seg.data(), seg.size()});
+      main.on_stripe_segment(r);
+      if (main.tearing_down_) break;
+    }
+    parked_segments_.clear();
+  }
+
+  void on_logical_frame(MsgType type, BinaryReader& r) {
+    if (tearing_down_ || resumed_) return;
     switch (type) {
       case MsgType::mig_begin: {
         if (begun_) {
@@ -941,7 +1262,34 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
         name_ = r.str();
         strategy_ = static_cast<SocketMigStrategy>(r.u8());
         src_local_.value = r.u32();
+        if (r.remaining() >= 9) {
+          mig_id_ = r.u64();
+          stripe_count_ = std::max<int>(1, r.u8());
+        }
+        // The capture session must exist before any parked stripe segment is
+        // replayed below — a parked capture_request would otherwise arm
+        // against session 0.
         capture_session_ = owner_->capture_.begin_session();
+        if (stripe_count_ > 1) {
+          reasm_ = std::make_unique<StripeReassembler>(
+              [this](MsgType t, BinaryReader& rr) {
+                if (tearing_down_ || resumed_) return;
+                // Re-report the reassembled logical frame so the protocol
+                // checker sees the same inbound stream as at degree 1.
+                FrameChannel::notify_frame(*channel_, /*outbound=*/false, t,
+                                           rr.remaining());
+                on_logical_frame(t, rr);
+              },
+              [this](const char* reason) {
+                teardown(reason, /*notify_peer=*/true);
+              });
+          // Stripe channels may have connected (and parked segments) before
+          // this mig_begin crossed the primary channel.
+          owner_->for_each_feeder(mig_id_, [this](DestSession& feeder) {
+            feeder.attached_once_ = true;
+            feeder.drain_parked(*this);
+          });
+        }
         return;
       }
       case MsgType::capture_request: {
@@ -1011,7 +1359,19 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
         const SimDuration cost =
             SimTime::nanoseconds(cm().restore_meta_ns) +
             cm().restore_cost(staging_.size(), socket_bytes_);
-        after(cost, [this] { do_restore(); });
+        SimDuration elapsed = cost;
+        if (stripe_count_ > 1) {
+          // Restore workers mirror the source's pool: socket reconstruction
+          // shards across stripe_count_ workers, metadata stays serial.
+          const auto workers = static_cast<std::size_t>(stripe_count_);
+          elapsed = SimTime::nanoseconds(cm().restore_meta_ns) +
+                    cm().restore_cost(
+                        ckpt::DirtyTracker::max_shard(staging_.size(), workers),
+                        ckpt::DirtyTracker::max_shard(
+                            static_cast<std::size_t>(socket_bytes_), workers));
+          tracer().attr(span_restore_, "shards", std::to_string(stripe_count_));
+        }
+        after_parallel(cost, elapsed, [this] { do_restore(); });
         return;
       }
       case MsgType::mig_abort:
@@ -1134,6 +1494,18 @@ class Migd::DestSession : public std::enable_shared_from_this<Migd::DestSession>
   std::uint64_t pages_received_{0};
   ckpt::ProcessImage img_;
   obs::SpanId span_restore_{0};
+
+  // --- striped transfer (parallelism > 1 on the source) ---
+  std::uint64_t mig_id_{0};      // cluster-unique id binding stripes to a main
+  int stripe_count_{1};          // source parallelism announced in mig_begin
+  bool is_feeder_{false};        // this session is a secondary stripe channel
+  std::uint8_t stripe_index_{0};
+  bool attached_once_{false};    // feeder: segments flushed into the main once
+  std::vector<Buffer> parked_segments_;  // feeder: segments before the main exists
+  std::unique_ptr<StripeReassembler> reasm_;  // main: in-order frame reassembly
+  static constexpr std::size_t kMaxParkedSegments = 4096;
+
+  friend class Migd;
 };
 
 // ==================================================================== Migd
@@ -1173,6 +1545,30 @@ void Migd::on_accept_ready() {
 void Migd::release_dest_session(DestSession* session) {
   std::erase_if(dst_sessions_,
                 [session](const auto& s) { return s.get() == session; });
+}
+
+std::shared_ptr<Migd::DestSession> Migd::find_dest_main(std::uint64_t mig_id) {
+  if (mig_id == 0) return nullptr;
+  for (const auto& s : dst_sessions_) {
+    if (!s->is_feeder_ && s->begun_ && s->mig_id_ == mig_id &&
+        !s->tearing_down_) {
+      return s;
+    }
+  }
+  return nullptr;
+}
+
+void Migd::for_each_feeder(std::uint64_t mig_id,
+                           const std::function<void(DestSession&)>& fn) {
+  if (mig_id == 0) return;
+  // Copy first: fn may mutate dst_sessions_ (e.g. by tearing a feeder down).
+  std::vector<std::shared_ptr<DestSession>> feeders;
+  for (const auto& s : dst_sessions_) {
+    if (s->is_feeder_ && s->mig_id_ == mig_id && !s->tearing_down_) {
+      feeders.push_back(s);
+    }
+  }
+  for (const auto& f : feeders) fn(*f);
 }
 
 bool Migd::migrate(Pid pid, net::Ipv4Addr dest_local, SocketMigStrategy strategy,

@@ -46,6 +46,24 @@ enum class SocketMigStrategy : std::uint8_t {
 
 const char* strategy_name(SocketMigStrategy s);
 
+/// Parallel data-path configuration (PMigrate-style). The default degree of 1
+/// is byte-for-byte today's serial behavior; degree N > 1 shards the
+/// dirty-page scan, serialization and socket subtraction across N deterministic
+/// workers and stripes every src->dst frame across N TCP channels.
+struct MigrationConfig {
+  /// Worker count == transfer stream count. Clamped to [1, kMaxParallelism].
+  int parallelism{1};
+  /// Segments in flight per stripe channel before the sender waits for the
+  /// socket to drain (the pipeline's bounded send queue).
+  int pipeline_depth{2};
+  /// Stripe segment payload size; logical frames are cut at this granularity.
+  std::uint32_t stripe_chunk_bytes{256 * 1024};
+};
+
+/// Upper bound on MigrationConfig::parallelism (stripe index fits a u8 and a
+/// migration should not monopolise the node's ephemeral ports).
+inline constexpr int kMaxParallelism = 16;
+
 /// Options beyond the socket strategy.
 struct MigrateOptions {
   SocketMigStrategy strategy{SocketMigStrategy::incremental_collective};
@@ -53,6 +71,7 @@ struct MigrateOptions {
   /// freeze immediately and transfer the whole image while the process is down
   /// (the baseline live migration is measured against).
   bool live{true};
+  MigrationConfig config{};
 };
 
 struct MigrationStats {
@@ -60,6 +79,7 @@ struct MigrationStats {
   std::string proc_name;
   SocketMigStrategy strategy{SocketMigStrategy::incremental_collective};
   bool live{true};
+  int parallelism{1};
   net::Ipv4Addr src_node{};
   net::Ipv4Addr dst_node{};
 
@@ -149,6 +169,12 @@ class Migd {
   void source_finished(const MigrationStats& stats);
   void release_dest_session(DestSession* session);
 
+  /// Striped-transfer plumbing: locate the main (mig_begin-bearing) dest
+  /// session of a migration, and iterate its stripe feeder sessions.
+  std::shared_ptr<DestSession> find_dest_main(std::uint64_t mig_id);
+  void for_each_feeder(std::uint64_t mig_id,
+                       const std::function<void(DestSession&)>& fn);
+
   proc::Node* node_;
   CostModel cm_;
   CaptureManager capture_;
@@ -160,6 +186,8 @@ class Migd {
   std::shared_ptr<SourceSession> src_session_;
   std::vector<std::shared_ptr<DestSession>> dst_sessions_;
   DoneFn done_;
+  std::uint64_t next_mig_id_{0};  // per-daemon counter; combined with the
+                                  // node address for a cluster-unique mig id
 };
 
 }  // namespace dvemig::mig

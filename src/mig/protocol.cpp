@@ -1,5 +1,7 @@
 #include "src/mig/protocol.hpp"
 
+#include <algorithm>
+
 namespace dvemig::mig {
 
 const char* msg_type_name(MsgType t) {
@@ -13,6 +15,8 @@ const char* msg_type_name(MsgType t) {
     case MsgType::process_image: return "process_image";
     case MsgType::resume_done: return "resume_done";
     case MsgType::mig_abort: return "mig_abort";
+    case MsgType::stripe_hello: return "stripe_hello";
+    case MsgType::stripe_seg: return "stripe_seg";
   }
   return "?";
 }
@@ -106,6 +110,176 @@ void FrameChannel::on_readable() {
   }
   if (off > 0) {
     rx_buffer_.erase(rx_buffer_.begin(), rx_buffer_.begin() + static_cast<std::ptrdiff_t>(off));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Striped transfer sublayer
+// ---------------------------------------------------------------------------
+
+StripeSender::StripeSender(std::vector<FrameChannel*> channels, std::uint64_t mig_id,
+                           std::uint32_t chunk_bytes, int pipeline_depth)
+    : channels_(std::move(channels)),
+      chunk_bytes_(chunk_bytes),
+      pipeline_depth_(pipeline_depth),
+      queues_(channels_.size()),
+      in_flight_(channels_.size(), 0) {
+  DVEMIG_EXPECTS(channels_.size() >= 2);
+  DVEMIG_EXPECTS(chunk_bytes_ > 0);
+  DVEMIG_EXPECTS(pipeline_depth_ > 0);
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    channels_[i]->socket().set_on_drained([this, i] { on_channel_drained(i); });
+    if (i == 0) continue;  // the primary channel already spoke mig_begin
+    BinaryWriter hello;
+    hello.u64(mig_id);
+    hello.u8(static_cast<std::uint8_t>(i));
+    channels_[i]->send(MsgType::stripe_hello, hello.buffer());
+  }
+}
+
+StripeSender::~StripeSender() { detach_callbacks(); }
+
+void StripeSender::detach_callbacks() {
+  for (FrameChannel* ch : channels_) ch->socket().set_on_drained(nullptr);
+  on_all_drained_ = nullptr;
+}
+
+void StripeSender::send(MsgType inner, const Buffer& payload) {
+  DVEMIG_EXPECTS(payload.size() < kMaxFrameLen);
+  FrameChannel::notify_frame(*channels_[0], /*outbound=*/true, inner, payload.size());
+  logical_frames_ += 1;
+  const std::uint64_t seq = next_seq_++;
+  const auto total = static_cast<std::uint32_t>(payload.size());
+  std::uint32_t off = 0;
+  std::size_t ch = 0;
+  // An empty payload still travels as one (empty) segment so the sequence
+  // number is consumed and the peer delivers the frame.
+  do {
+    const std::uint32_t chunk = std::min(chunk_bytes_, total - off);
+    BinaryWriter seg;
+    seg.u64(seq);
+    seg.u8(static_cast<std::uint8_t>(inner));
+    seg.u32(total);
+    seg.u32(off);
+    seg.bytes(std::span<const std::uint8_t>(payload.data() + off, chunk));
+    queues_[ch].push_back(seg.take());
+    ch = (ch + 1) % channels_.size();
+    off += chunk;
+  } while (off < total);
+  for (std::size_t i = 0; i < channels_.size(); ++i) pump(i);
+  check_drained();
+}
+
+void StripeSender::pump(std::size_t channel) {
+  auto& q = queues_[channel];
+  while (in_flight_[channel] < pipeline_depth_ && !q.empty()) {
+    Buffer seg = std::move(q.front());
+    q.pop_front();
+    in_flight_[channel] += 1;
+    segments_ += 1;
+    segment_bytes_ += seg.size();
+    channels_[channel]->send(MsgType::stripe_seg, seg);
+  }
+}
+
+void StripeSender::on_channel_drained(std::size_t channel) {
+  in_flight_[channel] = 0;
+  pump(channel);
+  check_drained();
+}
+
+void StripeSender::check_drained() {
+  if (!on_all_drained_) return;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    if (!queues_[i].empty() || !channels_[i]->socket().drained()) return;
+  }
+  auto fn = std::move(on_all_drained_);
+  on_all_drained_ = nullptr;
+  fn();
+}
+
+void StripeSender::when_drained(std::function<void()> fn) {
+  on_all_drained_ = std::move(fn);
+  check_drained();
+}
+
+StripeReassembler::StripeReassembler(DeliverFn deliver, ErrorFn on_error)
+    : deliver_(std::move(deliver)), on_error_(std::move(on_error)) {}
+
+StripeReassembler::~StripeReassembler() { *alive_ = false; }
+
+void StripeReassembler::fail(const char* reason) {
+  errored_ = true;
+  pending_.clear();
+  if (on_error_) on_error_(reason);
+}
+
+void StripeReassembler::on_segment(BinaryReader& r) {
+  if (errored_) return;
+  segments_ += 1;
+  if (r.remaining() < 17) return fail("truncated stripe segment header");
+  const std::uint64_t seq = r.u64();
+  const std::uint8_t inner = r.u8();
+  const std::uint32_t total = r.u32();
+  const std::uint32_t offset = r.u32();
+  const auto chunk_len = static_cast<std::uint32_t>(r.remaining());
+
+  if (!msg_type_valid(inner)) return fail("stripe segment carries unknown type");
+  const auto inner_type = static_cast<MsgType>(inner);
+  if (inner_type == MsgType::stripe_hello || inner_type == MsgType::stripe_seg) {
+    return fail("nested stripe framing");
+  }
+  if (seq < next_deliver_) return fail("stripe segment revisits delivered frame");
+  if (total > kMaxFrameLen) return fail("stripe frame length exceeds cap");
+  if (offset > total || chunk_len > total - offset) {
+    return fail("stripe segment overflows frame");
+  }
+
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) {
+    if (pending_.size() >= kMaxPendingStripeFrames) {
+      return fail("stripe reassembly backlog");
+    }
+    // `total` was bounds-checked against kMaxFrameLen above.
+    PendingFrame fresh;
+    fresh.type = inner;
+    fresh.total = total;
+    fresh.data = Buffer(total);
+    it = pending_.emplace(seq, std::move(fresh)).first;
+  }
+  PendingFrame& p = it->second;
+  if (p.type != inner || p.total != total) {
+    return fail("stripe segments disagree on frame header");
+  }
+  auto [slot, inserted] = p.chunks.emplace(offset, chunk_len);
+  if (!inserted) return fail("duplicate stripe segment");
+  if (auto next = std::next(slot);
+      next != p.chunks.end() && offset + chunk_len > next->first) {
+    return fail("overlapping stripe segments");
+  }
+  if (slot != p.chunks.begin()) {
+    auto prev = std::prev(slot);
+    if (prev->first + prev->second > offset) return fail("overlapping stripe segments");
+  }
+  const auto chunk = r.span(chunk_len);
+  std::copy(chunk.begin(), chunk.end(),
+            p.data.begin() + static_cast<std::ptrdiff_t>(offset));
+  p.received += chunk_len;
+
+  // Deliver every complete frame at the head of the sequence. The deliver
+  // callback may tear the owning session (and this object) down mid-loop; the
+  // shared alive flag makes that safe.
+  auto alive = alive_;
+  while (true) {
+    auto head = pending_.find(next_deliver_);
+    if (head == pending_.end() || head->second.received != head->second.total) break;
+    PendingFrame done = std::move(head->second);
+    pending_.erase(head);
+    next_deliver_ += 1;
+    delivered_ += 1;
+    BinaryReader body({done.data.data(), done.data.size()});
+    deliver_(static_cast<MsgType>(done.type), body);
+    if (!*alive || errored_) return;
   }
 }
 

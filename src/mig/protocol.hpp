@@ -8,7 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
+#include <memory>
+#include <vector>
 
 #include "src/common/serial.hpp"
 #include "src/stack/tcp_socket.hpp"
@@ -28,12 +32,21 @@ enum class MsgType : std::uint8_t {
   process_image = 7,  // src -> dst: freeze-phase process metadata; triggers restore
   resume_done = 8,    // dst -> src: process resumed; carries timing + counters
   mig_abort = 9,      // either direction
+
+  // Striped (multi-stream) transfer sublayer, parallelism > 1 only. A secondary
+  // channel opens with exactly one stripe_hello (mig_id, stripe index); after
+  // mig_begin every src->dst frame of that migration travels as stripe_seg
+  // chunks spread round-robin across all channels (primary included) and is
+  // reassembled in logical-sequence order on the destination. dst->src replies
+  // and mig_abort always ride the primary channel unwrapped.
+  stripe_hello = 10,  // src -> dst: u64 mig_id | u8 stripe_index (channel opener)
+  stripe_seg = 11,    // src -> dst: u64 seq | u8 inner_type | u32 total | u32 offset | chunk
 };
 
 const char* msg_type_name(MsgType t);
 
 inline constexpr std::uint8_t kMsgTypeMin = 1;
-inline constexpr std::uint8_t kMsgTypeMax = 9;
+inline constexpr std::uint8_t kMsgTypeMax = 11;
 
 inline bool msg_type_valid(std::uint8_t v) {
   return v >= kMsgTypeMin && v <= kMsgTypeMax;
@@ -74,6 +87,16 @@ class FrameChannel {
 
   static void set_observer(Observer* obs) { observer_ = obs; }
   static Observer* observer() { return observer_; }
+
+  /// Report a *logical* frame to the observer as if it crossed `ch` whole. The
+  /// striping sublayer uses this so dvemig-verify sees the same logical
+  /// protocol stream on the primary channel at any parallelism degree: the
+  /// source reports each logical frame before chunking it into stripe_seg
+  /// frames, the destination reports it again when reassembly completes.
+  static void notify_frame(const FrameChannel& ch, bool outbound, MsgType type,
+                           std::size_t payload_len) {
+    if (observer_) observer_->on_channel_frame(ch, outbound, type, payload_len);
+  }
 
   /// Process-wide fault-injection seam used by the model checker (src/mc).
   /// Consulted per frame on the send side, *before* the frame hits the byte
@@ -123,6 +146,111 @@ class FrameChannel {
   ErrorFn on_error_;
   std::uint64_t bytes_sent_{0};
   bool errored_{false};
+};
+
+/// Send half of the striped transfer sublayer (parallelism > 1).
+///
+/// Chunks each logical frame into stripe_seg frames of at most `chunk_bytes`
+/// spread round-robin across the channels (index 0 = the migration's primary
+/// channel), tagged with a per-logical-frame sequence number so the peer's
+/// StripeReassembler restores logical order regardless of per-channel timing.
+/// Per channel at most `pipeline_depth` segments sit in the socket's send
+/// buffer; the rest wait in a queue and are pumped as the socket drains — the
+/// bounded queue between the serialize and send stages of the pipeline.
+///
+/// Constructing the sender emits one stripe_hello on every secondary channel
+/// (their opening frame). Not copyable; destroy before the channels.
+class StripeSender {
+ public:
+  StripeSender(std::vector<FrameChannel*> channels, std::uint64_t mig_id,
+               std::uint32_t chunk_bytes, int pipeline_depth);
+  StripeSender(const StripeSender&) = delete;
+  StripeSender& operator=(const StripeSender&) = delete;
+  ~StripeSender();
+
+  /// Queue one logical frame for striped transfer. Reported to the protocol
+  /// observer as an outbound logical frame on the primary channel.
+  void send(MsgType inner, const Buffer& payload);
+
+  /// Invoke `fn` once every queue is empty and every channel socket has fully
+  /// drained (all segments ACKed). One waiter at most; replaces any previous.
+  void when_drained(std::function<void()> fn);
+
+  /// Clear socket callbacks and the drain waiter (session teardown).
+  void detach_callbacks();
+
+  std::uint64_t logical_frames() const { return logical_frames_; }
+  std::uint64_t segments_sent() const { return segments_; }
+  std::uint64_t segment_bytes() const { return segment_bytes_; }
+
+ private:
+  void pump(std::size_t channel);
+  void on_channel_drained(std::size_t channel);
+  void check_drained();
+
+  std::vector<FrameChannel*> channels_;
+  std::uint32_t chunk_bytes_;
+  int pipeline_depth_;
+  std::vector<std::deque<Buffer>> queues_;   // pre-built stripe_seg payloads
+  std::vector<int> in_flight_;               // segments sent since last drain
+  std::function<void()> on_all_drained_;
+  std::uint64_t next_seq_{0};
+  std::uint64_t logical_frames_{0};
+  std::uint64_t segments_{0};
+  std::uint64_t segment_bytes_{0};
+};
+
+/// Receive half of the striped transfer sublayer.
+///
+/// Collects stripe_seg payloads (from any channel of one migration) and
+/// delivers complete logical frames in strictly ascending sequence order.
+/// Invariants enforced on every segment — any violation reports through the
+/// error callback and poisons the reassembler:
+///   - inner type is a valid, non-stripe message type;
+///   - total length within kMaxFrameLen; chunk within [offset, total];
+///   - chunks of one frame never overlap or repeat, and agree on type/total;
+///   - sequence numbers never revisit a delivered frame;
+///   - at most kMaxPendingStripeFrames incomplete frames buffered.
+/// Non-overlapping chunks inside [0, total] whose sizes sum to total
+/// necessarily tile the frame exactly, so completeness == byte count.
+class StripeReassembler {
+ public:
+  using DeliverFn = std::function<void(MsgType, BinaryReader&)>;
+  using ErrorFn = std::function<void(const char* reason)>;
+
+  /// Incomplete-frame buffering cap; beyond it the stream is declared hostile.
+  static constexpr std::size_t kMaxPendingStripeFrames = 1024;
+
+  StripeReassembler(DeliverFn deliver, ErrorFn on_error);
+  ~StripeReassembler();
+
+  /// Consume one stripe_seg payload. The deliver callback may destroy this
+  /// reassembler; the call returns safely afterwards.
+  void on_segment(BinaryReader& r);
+
+  bool errored() const { return errored_; }
+  std::uint64_t segments_received() const { return segments_; }
+  std::uint64_t frames_delivered() const { return delivered_; }
+
+ private:
+  struct PendingFrame {
+    std::uint8_t type{0};
+    std::uint32_t total{0};
+    Buffer data;
+    std::uint64_t received{0};
+    std::map<std::uint32_t, std::uint32_t> chunks;  // offset -> length
+  };
+
+  void fail(const char* reason);
+
+  DeliverFn deliver_;
+  ErrorFn on_error_;
+  std::map<std::uint64_t, PendingFrame> pending_;
+  std::uint64_t next_deliver_{0};
+  std::uint64_t segments_{0};
+  std::uint64_t delivered_{0};
+  bool errored_{false};
+  std::shared_ptr<bool> alive_{std::make_shared<bool>(true)};
 };
 
 }  // namespace dvemig::mig

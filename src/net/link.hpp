@@ -18,6 +18,13 @@ using PacketSink = std::function<void(Packet)>;
 struct LinkConfig {
   double bandwidth_bps{1e9};                         // GbE by default
   SimDuration latency{SimTime::microseconds(25)};    // one-way propagation + switching
+  // Link aggregation (bonded NICs): each switch port carries `rails` independent
+  // physical links, each at the full `bandwidth_bps`. Flows are pinned to a rail
+  // by a deterministic 5-tuple hash (net::Switch), so one TCP stream never
+  // exceeds a single rail's bandwidth — parallelism requires parallel flows,
+  // exactly as on real bonded hardware. Only net::Switch honours this field; a
+  // bare Link is always a single rail.
+  int rails{1};
 };
 
 class Link {

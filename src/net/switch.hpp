@@ -29,11 +29,17 @@ class Switch {
   std::uint64_t forwarded() const { return forwarded_; }
   std::uint64_t dropped_unroutable() const { return dropped_; }
 
+  /// Deterministic symmetric flow->rail pinning for aggregated ports
+  /// (LinkConfig::rails > 1): both directions of a connection hash to the same
+  /// rail, and distinct consecutive ports spread across rails.
+  static std::size_t rail_of(const Packet& p, std::size_t rails);
+
  private:
   struct PortState {
-    std::unique_ptr<Link> uplink;    // host -> switch
-    std::unique_ptr<Link> downlink;  // switch -> host
-    bool alive{true};                // false after detach; pending deliveries drop
+    // One Link per rail and direction; index = rail_of(packet, rails).
+    std::vector<std::unique_ptr<Link>> uplinks;    // host -> switch
+    std::vector<std::unique_ptr<Link>> downlinks;  // switch -> host
+    bool alive{true};  // false after detach; pending deliveries drop
   };
 
   void forward(Ipv4Addr from, Packet p);

@@ -40,9 +40,19 @@ void BenchReport::add_standard_metrics() {
   result("packet_delay_ms", delay != nullptr ? delay->max() / 1e3 : 0);
 }
 
+// The build stamps the checkout via git describe (src/obs/CMakeLists.txt);
+// builds outside a work tree fall back to "unknown".
+#ifndef DVEMIG_GIT_DESCRIBE
+#define DVEMIG_GIT_DESCRIBE "unknown"
+#endif
+
 std::string BenchReport::json() const {
   std::string out = "{\n\"bench\": \"" + json_escape(name_) +
-                    "\",\n\"schema\": 1,\n\"results\": {";
+                    "\",\n\"schema\": 1,\n\"provenance\": {\"schema_version\": 1"
+                    ", \"git\": \"" +
+                    json_escape(DVEMIG_GIT_DESCRIBE) +
+                    "\", \"seed\": " + std::to_string(seed_) +
+                    "},\n\"results\": {";
   bool first = true;
   for (const auto& [key, value] : results_) {
     out += first ? "\n" : ",\n";

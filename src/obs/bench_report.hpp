@@ -4,6 +4,7 @@
 // Schema (version 1):
 //   {
 //     "bench": "<name>", "schema": 1,
+//     "provenance": { "schema_version": 1, "git": "<describe>", "seed": N },
 //     "results": { "<key>": <number>, ... },       // bench-specific scalars
 //     "notes":   { "<key>": "<string>", ... },
 //     "metrics": <full metrics-registry snapshot>,
@@ -11,11 +12,16 @@
 //                  "by_name": { "<span>": {"count": N, "total_us": X}, ... } }
 //   }
 //
+// The provenance block is mandatory: tests/json_lint.hpp's bench_report_ok()
+// rejects a report without schema_version, git and seed, and CI enforces it on
+// every archived BENCH_*.json.
+//
 // add_standard_metrics() guarantees the three cross-bench keys every report
 // must carry — freeze_time_ms, freeze_bytes, packet_delay_ms — pulled from the
 // registry (worst case over every migration the bench ran).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -29,6 +35,10 @@ class BenchReport {
   /// Set (or overwrite) a scalar result.
   void result(const std::string& key, double value);
   void note(const std::string& key, const std::string& value);
+
+  /// Record the RNG seed the bench ran with (part of the provenance block).
+  /// Benches without randomness keep the recognisable default.
+  void set_seed(std::uint64_t seed) { seed_ = seed; }
 
   /// Fill the mandatory cross-bench keys from the metrics registry:
   ///   freeze_time_ms   max of histogram mig.freeze_time_us
@@ -45,6 +55,7 @@ class BenchReport {
 
  private:
   std::string name_;
+  std::uint64_t seed_{0x5EEDC0DEULL};
   std::vector<std::pair<std::string, double>> results_;
   std::vector<std::pair<std::string, std::string>> notes_;
 };

@@ -138,4 +138,26 @@ class JsonLint {
   std::size_t pos_{0};
 };
 
+/// Validates a BenchReport JSON document: syntactically valid JSON that also
+/// carries the mandatory provenance block ("schema_version", "git", "seed").
+/// Substring matching is deliberate — the keys are emitted verbatim by
+/// obs::BenchReport::json() and nothing else in a report nests a "provenance"
+/// object.
+inline bool bench_report_ok(const std::string& text, std::string* error = nullptr) {
+  if (!JsonLint::valid(text, error)) return false;
+  if (text.find("\"provenance\"") == std::string::npos) {
+    if (error != nullptr) *error = "bench report has no provenance block";
+    return false;
+  }
+  for (const char* key : {"\"schema_version\"", "\"git\"", "\"seed\""}) {
+    if (text.find(key) == std::string::npos) {
+      if (error != nullptr) {
+        *error = std::string("bench report provenance lacks ") + key;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace dvemig::testutil

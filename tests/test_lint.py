@@ -132,5 +132,99 @@ class PhaseSpanMultiline(unittest.TestCase):
         self.assertNotIn("[phase-span]", out)
 
 
+class DesignInventory(unittest.TestCase):
+    """DESIGN.md §3 must name every src/ subdirectory that holds sources."""
+
+    DESIGN_BOTH = (
+        "# design\n\n## 3. Module inventory\n\n"
+        "```\nsrc/alpha/   the alpha module\nsrc/beta/    the beta module\n```\n\n"
+        "## 4. Next section\n"
+    )
+
+    def make_tree(self, tmp: str, design: str) -> pathlib.Path:
+        root = pathlib.Path(tmp)
+        for mod in ("alpha", "beta"):
+            d = root / "src" / mod
+            d.mkdir(parents=True)
+            (d / "mod.hpp").write_text("// placeholder\n")
+        (root / "DESIGN.md").write_text(design)
+        return root
+
+    def test_complete_inventory_passes(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            code, out = run_lint(self.make_tree(tmp, self.DESIGN_BOTH))
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("[design-inventory]", out)
+
+    def test_omitted_module_is_flagged(self) -> None:
+        # Planted omission: src/beta exists on disk but not in §3.
+        design = self.DESIGN_BOTH.replace("src/beta/    the beta module\n", "")
+        with tempfile.TemporaryDirectory() as tmp:
+            code, out = run_lint(self.make_tree(tmp, design))
+        self.assertNotEqual(code, 0)
+        self.assertIn("[design-inventory]", out)
+        self.assertIn("src/beta/", out)
+        self.assertNotIn("src/alpha/", out)
+
+    def test_mention_outside_section_3_does_not_count(self) -> None:
+        # src/beta is mentioned, but only in §4 — the inventory is still short.
+        design = self.DESIGN_BOTH.replace(
+            "src/beta/    the beta module\n", ""
+        ) + "\nsrc/beta/ discussed here instead.\n"
+        with tempfile.TemporaryDirectory() as tmp:
+            code, out = run_lint(self.make_tree(tmp, design))
+        self.assertNotEqual(code, 0)
+        self.assertIn("[design-inventory]", out)
+
+    def test_real_design_covers_real_tree(self) -> None:
+        # The actual repo's §3 must cover the actual src/ tree (also implied by
+        # RepoIsClean, but pinned here so a failure names the rule).
+        _, out = run_lint(REPO)
+        self.assertNotIn("[design-inventory]", out)
+
+
+class ReadmeBenchTargets(unittest.TestCase):
+    """README bench commands must name real targets in bench/CMakeLists.txt."""
+
+    def make_tree(self, tmp: str, readme: str) -> pathlib.Path:
+        root = pathlib.Path(tmp)
+        (root / "bench").mkdir(parents=True)
+        (root / "bench" / "CMakeLists.txt").write_text(
+            "dvemig_bench(fig_real)\nadd_executable(micro_real micro_real.cpp)\n"
+        )
+        (root / "README.md").write_text(readme)
+        return root
+
+    def test_real_targets_pass(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            code, out = run_lint(
+                self.make_tree(
+                    tmp, "Run `./build/bench/fig_real` then ./build/bench/micro_real.\n"
+                )
+            )
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("[readme-bench-targets]", out)
+
+    def test_bogus_target_is_flagged(self) -> None:
+        # Planted rot: the walkthrough names a bench that was never added.
+        with tempfile.TemporaryDirectory() as tmp:
+            code, out = run_lint(
+                self.make_tree(
+                    tmp,
+                    "Run `./build/bench/fig_real`.\n"
+                    "Then `./build/bench/fig_deleted 2` reproduces Fig. 9.\n",
+                )
+            )
+        self.assertNotEqual(code, 0)
+        self.assertIn("[readme-bench-targets]", out)
+        self.assertIn("fig_deleted", out)
+        self.assertIn("README.md:2", out)
+        self.assertNotIn("fig_real'", out)
+
+    def test_real_readme_names_real_targets(self) -> None:
+        _, out = run_lint(REPO)
+        self.assertNotIn("[readme-bench-targets]", out)
+
+
 if __name__ == "__main__":
     unittest.main()

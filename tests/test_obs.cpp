@@ -267,6 +267,42 @@ TEST(BenchReport, JsonValidAndCarriesStandardKeys) {
   EXPECT_NE(doc.find("\"strategy\": \"collective\""), std::string::npos);
 }
 
+TEST(BenchReport, CarriesProvenanceAndPassesBenchLint) {
+  obs::BenchReport report("prov_test");
+  report.set_seed(0xABCDEF0123ULL);
+  report.add_standard_metrics();
+  const std::string doc = report.json();
+  std::string err;
+  EXPECT_TRUE(testutil::bench_report_ok(doc, &err)) << err << "\n" << doc;
+  EXPECT_NE(doc.find("\"provenance\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"git\": \""), std::string::npos);
+  EXPECT_NE(doc.find("\"seed\": " + std::to_string(0xABCDEF0123ULL)),
+            std::string::npos);
+}
+
+TEST(BenchReport, BenchLintRejectsMissingProvenance) {
+  // Structurally valid JSON, but no provenance block (a pre-schema report).
+  const std::string legacy =
+      "{\"bench\": \"old\", \"schema\": 1, \"results\": {}}";
+  std::string err;
+  EXPECT_TRUE(JsonLint::valid(legacy, &err)) << err;
+  EXPECT_FALSE(testutil::bench_report_ok(legacy, &err));
+  EXPECT_NE(err.find("provenance"), std::string::npos) << err;
+
+  // Provenance present but incomplete: still rejected.
+  const std::string partial =
+      "{\"bench\": \"old\", \"schema\": 1, "
+      "\"provenance\": {\"schema_version\": 1, \"git\": \"abc\"}, "
+      "\"results\": {}}";
+  EXPECT_TRUE(JsonLint::valid(partial, &err)) << err;
+  EXPECT_FALSE(testutil::bench_report_ok(partial, &err));
+  EXPECT_NE(err.find("seed"), std::string::npos) << err;
+
+  // Invalid JSON is rejected before any key check.
+  EXPECT_FALSE(testutil::bench_report_ok("{\"bench\": ", &err));
+}
+
 // ============================================================== packet tracer
 
 const net::Ipv4Addr kAddrA = net::Ipv4Addr::octets(10, 0, 0, 1);

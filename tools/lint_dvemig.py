@@ -52,6 +52,23 @@ serializer-symmetry
     (src/mig/socket_image.cpp) and protocol payloads stay decodable; a field
     added to one side only corrupts every migration silently.
 
+design-inventory
+    Every ``src/`` subdirectory that contains sources must be named in
+    DESIGN.md's §3 module inventory (``src/<dir>/``). The inventory is the
+    map newcomers navigate by; a subsystem that ships without a §3 line is
+    invisible to them. Judged against the tree, so the rule fires the moment
+    a new ``src/<dir>`` lands without its documentation.
+
+readme-bench-targets
+    Every ``./build/bench/<name>`` command in README.md must name a real
+    target in bench/CMakeLists.txt. The "Reproducing the figures" walkthrough
+    is only worth trusting if each command it prints actually builds; a
+    renamed or deleted bench must take its README line with it.
+
+The two doc rules are repo-level: they read DESIGN.md / README.md /
+bench/CMakeLists.txt relative to --root and are skipped when those files do
+not exist (so file-scoped scratch runs stay quiet).
+
 Exit status is nonzero if any violation is found. Usage:
     tools/lint_dvemig.py [--root REPO_ROOT] [file ...]
 With no files, lints every .cpp/.hpp under src/.
@@ -298,6 +315,51 @@ def lint_file(
                     )
 
 
+def lint_docs(root: pathlib.Path, problems: list[str]) -> None:
+    """Repo-level documentation rules (design-inventory, readme-bench-targets)."""
+    design = root / "DESIGN.md"
+    src = root / "src"
+    if design.exists() and src.is_dir():
+        text = design.read_text()
+        heading = re.search(r"^##\s*3\..*$", text, re.MULTILINE)
+        if heading is None:
+            problems.append(
+                "DESIGN.md:0: [design-inventory] no '## 3.' module-inventory "
+                "section found"
+            )
+        else:
+            line = text.count("\n", 0, heading.start()) + 1
+            end = text.find("\n## ", heading.end())
+            section = text[heading.end() : end if end != -1 else len(text)]
+            for d in sorted(p for p in src.iterdir() if p.is_dir()):
+                if not any(d.glob("*.cpp")) and not any(d.glob("*.hpp")):
+                    continue
+                if f"src/{d.name}/" not in section:
+                    problems.append(
+                        f"DESIGN.md:{line}: [design-inventory] src/{d.name}/ "
+                        "is absent from the §3 module inventory — every src/ "
+                        "subdirectory must be documented there"
+                    )
+    readme = root / "README.md"
+    bench_cmake = root / "bench" / "CMakeLists.txt"
+    if readme.exists() and bench_cmake.exists():
+        targets = set(
+            re.findall(
+                r"(?:dvemig_bench|add_executable)\s*\(\s*(\w+)",
+                bench_cmake.read_text(),
+            )
+        )
+        for i, rline in enumerate(readme.read_text().splitlines(), 1):
+            for m in re.finditer(r"\./build/bench/(\w+)", rline):
+                if m.group(1) not in targets:
+                    problems.append(
+                        f"README.md:{i}: [readme-bench-targets] "
+                        f"'./build/bench/{m.group(1)}' names no target in "
+                        "bench/CMakeLists.txt — every command in the "
+                        "walkthrough must actually build"
+                    )
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--root", default=".", help="repository root")
@@ -316,6 +378,7 @@ def main() -> int:
 
     problems: list[str] = []
     hash_calls: dict[str, dict[str, str]] = {}
+    lint_docs(root, problems)
     count = 0
     for path in targets:
         if path.suffix not in {".cpp", ".hpp"}:
