@@ -58,11 +58,56 @@ class BinaryWriter {
   const Buffer& buffer() const { return buf_; }
   Buffer take() { return std::move(buf_); }
 
+  /// Pre-size the backing buffer (the collective-subtraction path sizes the
+  /// unified transfer buffer from the previous round so a freeze-phase dump
+  /// never reallocates mid-serialization).
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
+  /// Drop the contents but keep the capacity, so one writer can be reused
+  /// across precopy rounds without re-paying the allocation.
+  void clear() { buf_.clear(); }
+
+  /// Current write position — take a mark before a section, then `patch_*` a
+  /// placeholder at it or `truncate_to` it to roll the section back.
+  std::size_t mark() const { return buf_.size(); }
+
+  /// Discard everything written at or after `pos` (e.g. a delta section that
+  /// hashed identical to the previous round and need not go on the wire).
+  void truncate_to(std::size_t pos) {
+    DVEMIG_EXPECTS(pos <= buf_.size());
+    buf_.resize(pos);
+  }
+
+  /// Overwrite previously written bytes in place — size prefixes and flag
+  /// bytes are written blind up front and back-patched once known, so records
+  /// serialize straight into the final buffer with no intermediate copy.
+  void patch_u8(std::uint8_t v, std::size_t pos) {
+    DVEMIG_EXPECTS(pos + 1 <= buf_.size());
+    buf_[pos] = v;
+  }
+  void patch_u32(std::uint32_t v, std::size_t pos) { patch_le(v, pos); }
+  void patch_u64(std::uint64_t v, std::size_t pos) { patch_le(v, pos); }
+
+  /// View of the bytes written since `pos` (for hashing a section in place).
+  /// Aliases the backing buffer: invalidated by any subsequent write.
+  std::span<const std::uint8_t> span_from(std::size_t pos) const {
+    DVEMIG_EXPECTS(pos <= buf_.size());
+    return std::span<const std::uint8_t>(buf_).subspan(pos);
+  }
+
  private:
   template <typename T>
   void append_le(T v) {
     for (std::size_t i = 0; i < sizeof(T); ++i) {
       buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  template <typename T>
+  void patch_le(T v, std::size_t pos) {
+    DVEMIG_EXPECTS(pos + sizeof(T) <= buf_.size());
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_[pos + i] = static_cast<std::uint8_t>(v >> (8 * i));
     }
   }
 

@@ -8,15 +8,27 @@
 //
 // This works only because the single-IP router broadcasts every incoming packet to
 // every node: the destination hears the client before it owns the socket.
+//
+// Matching is O(1) per packet (DESIGN.md §12): specs live in a two-tier hash
+// index — an exact tier keyed by the packed (remote addr, remote port, local
+// port) tuple and a wildcard tier (listeners, unconnected UDP binds) keyed by
+// local port — maintained incrementally as specs are added and sessions end.
+// The exact tier is probed first; within a tier, the oldest spec wins, which
+// reproduces the pre-index scan's outcome for every overlap pattern the
+// protocol can produce (a session's wildcard and exact specs share one queue
+// and one logical dedup domain, so which of them matches is unobservable).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/mig/socket_image.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/stack/net_stack.hpp"
 
 namespace dvemig::mig {
@@ -51,28 +63,71 @@ class CaptureManager {
   std::uint64_t total_captured() const { return total_captured_; }
   std::uint64_t total_deduplicated() const { return total_deduplicated_; }
 
+  /// Bench/test seam: route matching through the pre-index linear scan (with
+  /// the historical session-level dedup set) instead of the hash index. The
+  /// connection_scale bench uses it to prove the index changes nothing
+  /// sim-visible, and the property test uses it as the oracle. Process-wide.
+  static void set_reference_mode(bool on);
+  static bool reference_mode();
+
  private:
+  struct SpecState {
+    CaptureSpec spec;
+    // Per-spec TCP dedup (indexed mode). An exact spec pins the whole match
+    // tuple, so its key shrinks to the sequence number alone; a wildcard spec
+    // still sees many peers and keys by packed (remote addr, remote port).
+    std::unordered_set<std::uint32_t> seen_seq;
+    std::unordered_map<std::uint64_t, std::unordered_set<std::uint32_t>> seen_by_peer;
+  };
+
   struct Session {
-    std::vector<CaptureSpec> specs;
+    // deque: SpecState addresses must stay stable — the index holds pointers.
+    std::deque<SpecState> specs;
     std::vector<net::Packet> queue;
     // Arrival sim-time of queue[i]; at reinjection, now - arrival is the real
     // delay each captured packet suffered (the `capture.packet_delay_us`
     // histogram — Figure 4's per-packet measurement rather than a bound).
     std::vector<std::int64_t> arrival_ns;
-    // TCP dedup: (remote addr, remote port, local port, seq) seen so far.
+    // Reference-mode TCP dedup only (session-scoped, as before the index):
+    // (remote addr, remote port, local port, seq) seen so far.
     std::set<std::tuple<std::uint32_t, std::uint16_t, std::uint16_t, std::uint32_t>>
         seen_tcp;
   };
 
+  struct IndexEntry {
+    std::uint64_t session;
+    SpecState* state;
+  };
+
+  struct Metrics {
+    obs::CounterRef captured{"capture.captured"};
+    obs::CounterRef dedup_hits{"capture.dedup_hits"};
+    obs::CounterRef reinjected{"capture.reinjected"};
+    obs::HistogramRef packet_delay_us{"capture.packet_delay_us",
+                                      obs::default_latency_bounds_us()};
+  };
+
+  static std::size_t proto_index(net::IpProto proto) {
+    return proto == net::IpProto::tcp ? 0 : 1;
+  }
+
   stack::Verdict on_local_in(net::Packet& p);
+  stack::Verdict on_local_in_reference(net::Packet& p);
+  stack::Verdict steal(Session& session, const net::Packet& p);
+  void drop_from_index(std::uint64_t session, Session& s);
   void update_hook();
 
   stack::NetStack* stack_;
   std::unordered_map<std::uint64_t, Session> sessions_;
+  // Two-tier spec index, one pair of maps per protocol (proto_index).
+  // Buckets keep insertion order; entry 0 is the match winner.
+  std::unordered_map<std::uint64_t, std::vector<IndexEntry>> exact_idx_[2];
+  std::unordered_map<std::uint16_t, std::vector<IndexEntry>> wildcard_idx_[2];
   std::uint64_t next_session_{0};
   stack::HookHandle hook_;
   std::uint64_t total_captured_{0};
   std::uint64_t total_deduplicated_{0};
+  Metrics metrics_;
 };
 
 }  // namespace dvemig::mig

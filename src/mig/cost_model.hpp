@@ -53,6 +53,14 @@ struct CostModel {
   std::int64_t freeze_threshold_ns{20'000'000};       // the paper's 20 ms
   int max_precopy_rounds{16};
 
+  /// Upper bound on one socket_state frame's payload. The collective
+  /// strategies serialize every socket into one unified buffer; past ~10^5
+  /// connections that buffer would outgrow the channel's kMaxFrameLen sanity
+  /// cap, so the emit loop cuts it into self-contained frames (each with its
+  /// own record-count prefix) at record boundaries. A dump that fits in one
+  /// chunk — the common case — ships exactly as before chunking existed.
+  std::int64_t socket_chunk_bytes{64LL * 1024 * 1024};
+
   /// Source-side watchdog on the whole migration. The protocol has no
   /// frame-level retransmission, so a lost control frame (capture_enabled,
   /// socket_ack, resume_done) would otherwise leave the source waiting forever

@@ -2,66 +2,84 @@
 
 namespace dvemig::mig {
 
-namespace {
-
-std::uint64_t hash_buffer(const BinaryWriter& w) {
-  return fnv1a({w.buffer().data(), w.buffer().size()});
-}
-
-}  // namespace
+// Both emitters serialize straight into the unified transfer buffer (the
+// paper's "one buffer, one transfer" collective design, DESIGN.md §12): the
+// record header is written blind with a zero flags placeholder, each section
+// is serialized at the buffer tail and hashed *in place*, and a section that
+// turns out unchanged is rolled back with truncate_to. No per-section scratch
+// writers, no second copy — the wire bytes are identical to the old
+// serialize-then-append encoding by construction.
 
 SectionFlags SocketDeltaTracker::emit_tcp(const TcpImage& img, BinaryWriter& out,
                                           bool force_all) {
-  BinaryWriter stat, dyn, queues;
-  img.serialize_static(stat);
-  img.serialize_dynamic(dyn);
-  img.serialize_queues(queues);
-  const std::uint64_t sh = hash_buffer(stat);
-  const std::uint64_t dh = hash_buffer(dyn);
-  const std::uint64_t qh = hash_buffer(queues);
-
-  Entry& e = entries_[img.src_sock_key];
-  SectionFlags flags = SectionFlags::none;
-  if (force_all || !e.have || sh != e.stat_hash) flags = flags | SectionFlags::stat;
-  if (force_all || !e.have || dh != e.dyn_hash) flags = flags | SectionFlags::dyn;
-  if (force_all || !e.have || qh != e.queues_hash) flags = flags | SectionFlags::queues;
-  e.have = true;
-  e.stat_hash = sh;
-  e.dyn_hash = dh;
-  e.queues_hash = qh;
-
-  if (flags == SectionFlags::none) return flags;
+  const std::size_t record_at = out.mark();
   out.u8(static_cast<std::uint8_t>(net::IpProto::tcp));
   out.u64(img.src_sock_key);
-  out.u8(static_cast<std::uint8_t>(flags));
-  if (flags & SectionFlags::stat) out.bytes(stat.buffer());
-  if (flags & SectionFlags::dyn) out.bytes(dyn.buffer());
-  if (flags & SectionFlags::queues) out.bytes(queues.buffer());
+  const std::size_t flags_at = out.mark();
+  out.u8(0);  // SectionFlags, patched below once known
+
+  Entry& e = entries_[img.src_sock_key];
+  const bool keep_all = force_all || !e.have;
+  SectionFlags flags = SectionFlags::none;
+
+  const auto section = [&](const auto& serialize, std::uint64_t& stored_hash,
+                           SectionFlags bit) {
+    const std::size_t at = out.mark();
+    serialize();
+    const std::uint64_t h = fnv1a(out.span_from(at));
+    if (keep_all || h != stored_hash) {
+      flags = flags | bit;
+    } else {
+      out.truncate_to(at);  // unchanged since last round: not sent
+    }
+    stored_hash = h;  // always updated, matching the pre-rewrite tracker
+  };
+  section([&] { img.serialize_static(out); }, e.stat_hash, SectionFlags::stat);
+  section([&] { img.serialize_dynamic(out); }, e.dyn_hash, SectionFlags::dyn);
+  section([&] { img.serialize_queues(out); }, e.queues_hash, SectionFlags::queues);
+  e.have = true;
+
+  if (flags == SectionFlags::none) {
+    out.truncate_to(record_at);  // nothing changed: drop the header too
+    return flags;
+  }
+  out.patch_u8(static_cast<std::uint8_t>(flags), flags_at);
   return flags;
 }
 
 SectionFlags SocketDeltaTracker::emit_udp(const UdpImage& img, BinaryWriter& out,
                                           bool force_all) {
-  BinaryWriter stat, queues;
-  img.serialize_static(stat);
-  img.serialize_queues(queues);
-  const std::uint64_t sh = hash_buffer(stat);
-  const std::uint64_t qh = hash_buffer(queues);
-
-  Entry& e = entries_[img.src_sock_key];
-  SectionFlags flags = SectionFlags::none;
-  if (force_all || !e.have || sh != e.stat_hash) flags = flags | SectionFlags::stat;
-  if (force_all || !e.have || qh != e.queues_hash) flags = flags | SectionFlags::queues;
-  e.have = true;
-  e.stat_hash = sh;
-  e.queues_hash = qh;
-
-  if (flags == SectionFlags::none) return flags;
+  const std::size_t record_at = out.mark();
   out.u8(static_cast<std::uint8_t>(net::IpProto::udp));
   out.u64(img.src_sock_key);
-  out.u8(static_cast<std::uint8_t>(flags));
-  if (flags & SectionFlags::stat) out.bytes(stat.buffer());
-  if (flags & SectionFlags::queues) out.bytes(queues.buffer());
+  const std::size_t flags_at = out.mark();
+  out.u8(0);  // SectionFlags, patched below once known
+
+  Entry& e = entries_[img.src_sock_key];
+  const bool keep_all = force_all || !e.have;
+  SectionFlags flags = SectionFlags::none;
+
+  const auto section = [&](const auto& serialize, std::uint64_t& stored_hash,
+                           SectionFlags bit) {
+    const std::size_t at = out.mark();
+    serialize();
+    const std::uint64_t h = fnv1a(out.span_from(at));
+    if (keep_all || h != stored_hash) {
+      flags = flags | bit;
+    } else {
+      out.truncate_to(at);
+    }
+    stored_hash = h;
+  };
+  section([&] { img.serialize_static(out); }, e.stat_hash, SectionFlags::stat);
+  section([&] { img.serialize_queues(out); }, e.queues_hash, SectionFlags::queues);
+  e.have = true;
+
+  if (flags == SectionFlags::none) {
+    out.truncate_to(record_at);
+    return flags;
+  }
+  out.patch_u8(static_cast<std::uint8_t>(flags), flags_at);
   return flags;
 }
 

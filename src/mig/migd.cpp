@@ -15,6 +15,78 @@ namespace {
 /// Pseudo-pid used to charge kernel-side migration work to the CPU meter.
 constexpr Pid kKernelPid{1};
 
+/// Capacity hint per socket when pre-reserving the unified buffer for a full
+/// dump (struct pads dominate: ~2.9 KB TCP + queues; generous is fine, the
+/// buffer is recycled).
+constexpr std::size_t kFullDumpReserveBytes = 4096;
+
+/// The unified socket_state buffer, cut into self-contained frames at record
+/// boundaries. Each chunk opens with its own record-count prefix (back-patched
+/// when the chunk closes), so no frame outgrows the channel's kMaxFrameLen
+/// sanity cap however many sockets a dump carries. A dump that fits in one
+/// chunk — the common case — is byte-for-byte the pre-chunking single frame.
+class SockStateChunks {
+ public:
+  SockStateChunks(Buffer spare, std::size_t limit)
+      : buf_(std::move(spare)), limit_(limit) {
+    buf_.clear();
+    open();
+  }
+
+  BinaryWriter& writer() { return buf_; }
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
+  /// Call after each emitted record: cuts a fresh chunk once the open one has
+  /// outgrown the limit. Cutting only between records keeps every frame
+  /// independently parseable; a chunk may overshoot by at most one record.
+  void record_emitted() {
+    total_ += 1;
+    open_records_ += 1;
+    if (buf_.size() - starts_.back() >= limit_) {
+      close_open();
+      open();
+    }
+  }
+
+  std::uint32_t total_records() const { return total_; }
+  /// Bytes of record payload, excluding the per-chunk count prefixes — what
+  /// the subtraction cost model prices.
+  std::size_t record_bytes() const {
+    return buf_.size() - starts_.size() * sizeof(std::uint32_t);
+  }
+  /// Bytes that will actually go on the wire (prefixes included).
+  std::size_t wire_bytes() const { return buf_.size(); }
+  const std::vector<std::size_t>& starts() const { return starts_; }
+
+  /// Patch the open chunk's count — or drop it entirely if a cut left it
+  /// empty after the final record. Must run before take()/sending.
+  void finish() {
+    if (starts_.size() > 1 &&
+        buf_.size() - starts_.back() == sizeof(std::uint32_t)) {
+      buf_.truncate_to(starts_.back());
+      starts_.pop_back();
+      return;  // the now-last chunk was already patched when it closed
+    }
+    buf_.patch_u32(open_records_, starts_.back());
+  }
+
+  Buffer take() { return buf_.take(); }
+
+ private:
+  void open() {
+    starts_.push_back(buf_.mark());
+    buf_.u32(0);
+    open_records_ = 0;
+  }
+  void close_open() { buf_.patch_u32(open_records_, starts_.back()); }
+
+  BinaryWriter buf_;
+  std::size_t limit_;
+  std::vector<std::size_t> starts_;  // offset of each chunk's count prefix
+  std::uint32_t open_records_{0};
+  std::uint32_t total_{0};
+};
+
 obs::Tracer& tracer() { return obs::Tracer::instance(); }
 
 /// Per-migration metrics, shared by source and destination roles. References
@@ -449,20 +521,59 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
   /// channel at degree 1, through the striped sender otherwise (queued until
   /// the stripe connections finish). `logical_sent_` counts the frame exactly
   /// as FrameChannel would (payload + 5 framing bytes), so byte statistics are
-  /// identical at every parallelism degree.
-  void send_frame(MsgType type, Buffer payload) {
+  /// identical at every parallelism degree. Returns the payload buffer once
+  /// the transport has copied it out, so hot paths can recycle the allocation
+  /// (empty when the frame had to be queued, which consumes the buffer).
+  Buffer send_frame(MsgType type, Buffer payload) {
+    logical_sent_ += payload.size() + 5;
+    if (config_.parallelism > 1) {
+      if (stripes_) {
+        stripes_->send(type, payload);
+        return payload;
+      }
+      pending_frames_.emplace_back(type, std::move(payload));
+      return {};
+    }
+    channel_->send(type, payload);
+    return payload;
+  }
+  void send_frame(MsgType type, BinaryWriter&& w) {
+    (void)send_frame(type, w.take());
+  }
+
+  /// Slice variant for the chunked socket_state path: both transports copy
+  /// out of the span synchronously, so chunks of the unified buffer go on the
+  /// wire with no intermediate allocation. Only the queued case (stripes not
+  /// yet connected) must own its bytes.
+  void send_frame_span(MsgType type, std::span<const std::uint8_t> payload) {
     logical_sent_ += payload.size() + 5;
     if (config_.parallelism > 1) {
       if (stripes_) {
         stripes_->send(type, payload);
       } else {
-        pending_frames_.emplace_back(type, std::move(payload));
+        pending_frames_.emplace_back(type, Buffer(payload.begin(), payload.end()));
       }
       return;
     }
     channel_->send(type, payload);
   }
-  void send_frame(MsgType type, BinaryWriter&& w) { send_frame(type, w.take()); }
+
+  /// Ship a finish()ed unified buffer as one socket_state frame per chunk and
+  /// return the allocation for recycling. Single chunk: the whole buffer IS
+  /// the frame — exactly the pre-chunking send.
+  Buffer send_socket_chunks(SockStateChunks&& chunks) {
+    const std::vector<std::size_t> starts = chunks.starts();
+    Buffer whole = chunks.take();
+    if (starts.size() == 1) {
+      return send_frame(MsgType::socket_state, std::move(whole));
+    }
+    const std::span<const std::uint8_t> all(whole);
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+      const std::size_t end = i + 1 < starts.size() ? starts[i + 1] : whole.size();
+      send_frame_span(MsgType::socket_state, all.subspan(starts[i], end - starts[i]));
+    }
+    return whole;
+  }
 
   void on_frame(MsgType type, BinaryReader& r) {
     // A finished session can still see frames already in flight (a duplicated
@@ -504,10 +615,14 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
     const auto pages = static_cast<std::int64_t>(delta.dirty_pages.size());
     SimDuration cost = SimTime::nanoseconds(pages * cm().page_copy_ns);
 
-    // Incremental collective: track socket changes during precopy as well.
-    BinaryWriter sock_buf;
-    std::uint32_t sock_records = 0;
+    // Incremental collective: track socket changes during precopy as well,
+    // serialized straight into the unified socket_state buffer behind a
+    // back-patched record-count prefix. The allocation is recycled across
+    // rounds (sock_spare_), so steady-state rounds allocate nothing.
+    SockStateChunks chunks(std::move(sock_spare_),
+                           static_cast<std::size_t>(cm().socket_chunk_bytes));
     std::size_t scanned = 0;
+    std::size_t sock_bytes = 0;
     if (stats_.strategy == SocketMigStrategy::incremental_collective) {
       for (const auto& [fd, file] : proc_->files().entries()) {
         if (file.kind != proc::FileKind::socket) continue;
@@ -515,21 +630,22 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
         if (file.socket->type() == stack::SocketType::tcp) {
           const auto& tcp = static_cast<const stack::TcpSocket&>(*file.socket);
           if (tcp_busy(tcp)) continue;  // leave for a later loop or the freeze
-          if (sock_tracker_.emit_tcp(extract_tcp(tcp, fd), sock_buf, false) !=
-              SectionFlags::none) {
-            sock_records += 1;
+          if (sock_tracker_.emit_tcp(extract_tcp(tcp, fd), chunks.writer(),
+                                     false) != SectionFlags::none) {
+            chunks.record_emitted();
           }
         } else {
           const auto& udp = static_cast<const stack::UdpSocket&>(*file.socket);
-          if (sock_tracker_.emit_udp(extract_udp(udp, fd), sock_buf, false) !=
-              SectionFlags::none) {
-            sock_records += 1;
+          if (sock_tracker_.emit_udp(extract_udp(udp, fd), chunks.writer(),
+                                     false) != SectionFlags::none) {
+            chunks.record_emitted();
           }
         }
       }
+      sock_bytes = chunks.record_bytes();
       cost += SimTime::nanoseconds(
           static_cast<std::int64_t>(scanned) * cm().socket_delta_check_ns +
-          static_cast<std::int64_t>(static_cast<double>(sock_buf.size()) *
+          static_cast<std::int64_t>(static_cast<double>(sock_bytes) *
                                     cm().per_byte_subtract_ns));
     }
 
@@ -549,7 +665,7 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
       const double est_bytes =
           static_cast<double>(delta.dirty_pages.size()) *
               static_cast<double>(proc::kPageSize + 8) +
-          static_cast<double>(sock_buf.size());
+          static_cast<double>(sock_bytes);
       const auto serialize_total = SimTime::nanoseconds(
           static_cast<std::int64_t>(est_bytes * cm().per_byte_serialize_ns));
       const auto serialize_shard = SimTime::nanoseconds(static_cast<std::int64_t>(
@@ -558,26 +674,28 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
                     page_shard * cm().page_copy_ns +
                     sock_shard * cm().socket_delta_check_ns +
                     static_cast<std::int64_t>(
-                        static_cast<double>(sock_buf.size()) *
+                        static_cast<double>(sock_bytes) *
                         cm().per_byte_subtract_ns / static_cast<double>(par))) +
                 serialize_shard;
       cpu = cost + serialize_total;
       tracer().attr(span_round_, "shards", std::to_string(par));
     }
 
+    const std::uint32_t sock_records = chunks.total_records();
     after_parallel(cpu, elapsed, [this, delta = std::move(delta),
-                                  sock_buf = std::move(sock_buf),
+                                  chunks = std::move(chunks),
                                   sock_records]() mutable {
       BinaryWriter w;
       delta.serialize(w);
       send_frame(MsgType::memory_delta, std::move(w));
       if (sock_records > 0) {
-        BinaryWriter w2;
-        w2.u32(sock_records);
-        w2.bytes(sock_buf.buffer());
-        stats_.precopy_socket_bytes += w2.size();
-        send_frame(MsgType::socket_state, std::move(w2));
+        chunks.finish();
+        stats_.precopy_socket_bytes += chunks.wire_bytes();
+        sock_spare_ = send_socket_chunks(std::move(chunks));
+      } else {
+        sock_spare_ = chunks.take();
       }
+      sock_spare_.clear();  // keep only the capacity for the next round
       stats_.precopy_rounds += 1;
       tracer().attr(span_round_, "round", std::to_string(stats_.precopy_rounds));
       tracer().attr(span_round_, "dirty_pages",
@@ -818,20 +936,22 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
         const MigSocket& ms = sockets_[idx];
         disable_for_migration(ms);
         span_stage_ = tracer().begin(obs_track_, "mig.subtract");
-        BinaryWriter buf;
+        BinaryWriter buf(std::move(sock_spare_));
+        buf.clear();
+        buf.u32(0);  // record count, back-patched below
         const std::uint32_t records = emit_socket(ms, buf, /*force_all=*/true);
-        const SimDuration cost = cm().subtract_cost(1, buf.size());
+        const SimDuration cost =
+            cm().subtract_cost(1, buf.size() - sizeof(std::uint32_t));
         after(cost, [this, buf = std::move(buf), records]() mutable {
           close_span(span_stage_);
-          BinaryWriter w;
-          w.u32(records);
-          w.bytes(buf.buffer());
-          stats_.freeze_socket_bytes += w.size();
+          buf.patch_u32(records, 0);
+          stats_.freeze_socket_bytes += buf.size();
           on_socket_ack_ = [this] {
             iter_idx_ += 1;
             iterative_next();
           };
-          send_frame(MsgType::socket_state, std::move(w));
+          sock_spare_ = send_frame(MsgType::socket_state, buf.take());
+          sock_spare_.clear();
         });
       });
     });
@@ -860,7 +980,18 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
     for (const MigSocket& ms : sockets_) disable_for_migration(ms);
 
     const bool force = stats_.strategy == SocketMigStrategy::collective;
-    BinaryWriter buf;
+    // The unified transfer buffer — the paper's "one buffer, one transfer"
+    // collective design, literally: every socket serializes straight into it
+    // (no per-socket intermediates), behind a record-count prefix that is
+    // back-patched before send. The allocation is recycled from the precopy
+    // rounds, and full dumps pre-reserve so a 10^5-socket freeze never
+    // reallocates mid-serialization.
+    SockStateChunks chunks(std::move(sock_spare_),
+                           static_cast<std::size_t>(cm().socket_chunk_bytes));
+    if (force) {
+      chunks.reserve(sizeof(std::uint32_t) +
+                     sockets_.size() * kFullDumpReserveBytes);
+    }
     std::uint32_t records = 0;
     // Per-socket record sizes, kept so the parallel path can price each
     // worker's batch. The emit itself stays serial in fd order — the unified
@@ -868,10 +999,13 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
     std::vector<std::size_t> record_bytes;
     record_bytes.reserve(sockets_.size());
     for (const MigSocket& ms : sockets_) {
-      const std::size_t before = buf.size();
-      records += emit_socket(ms, buf, force);
-      record_bytes.push_back(buf.size() - before);
+      const std::size_t before = chunks.writer().size();
+      const std::uint32_t emitted = emit_socket(ms, chunks.writer(), force);
+      record_bytes.push_back(chunks.writer().size() - before);
+      records += emitted;
+      if (emitted > 0) chunks.record_emitted();
     }
+    const std::size_t subtract_bytes = chunks.record_bytes();
 
     const auto batch_cost = [&](std::size_t n_socks, std::size_t n_bytes) {
       // Incremental tracking already paid the per-socket walk during precopy;
@@ -883,7 +1017,7 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
                          static_cast<std::int64_t>(static_cast<double>(n_bytes) *
                                                    cm().per_byte_subtract_ns));
     };
-    const SimDuration cost = batch_cost(sockets_.size(), buf.size());
+    const SimDuration cost = batch_cost(sockets_.size(), subtract_bytes);
     SimDuration elapsed = cost;
     if (config_.parallelism > 1) {
       // Workers subtract contiguous fd-order batches; the merge into the
@@ -900,18 +1034,20 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
       tracer().attr(span_stage_, "shards", std::to_string(config_.parallelism));
     }
     DVEMIG_DEBUG("migd", "pid %u subtract: %u records, %zu bytes", stats_.pid.value,
-                 records, buf.size());
+                 records, subtract_bytes);
     tracer().attr(span_stage_, "records", std::to_string(records));
-    tracer().attr(span_stage_, "bytes", std::to_string(buf.size()));
-    after_parallel(cost, elapsed, [this, buf = std::move(buf), records]() mutable {
+    tracer().attr(span_stage_, "bytes", std::to_string(subtract_bytes));
+    after_parallel(cost, elapsed,
+                   [this, chunks = std::move(chunks), records]() mutable {
       close_span(span_stage_);
       if (records > 0) {
-        BinaryWriter w;
-        w.u32(records);
-        w.bytes(buf.buffer());
-        stats_.freeze_socket_bytes += w.size();
-        send_frame(MsgType::socket_state, std::move(w));
+        chunks.finish();
+        stats_.freeze_socket_bytes += chunks.wire_bytes();
+        sock_spare_ = send_socket_chunks(std::move(chunks));
+      } else {
+        sock_spare_ = chunks.take();
       }
+      sock_spare_.clear();
       final_transfer();
     });
   }
@@ -1030,6 +1166,10 @@ class Migd::SourceSession : public std::enable_shared_from_this<Migd::SourceSess
 
   ckpt::DirtyTracker mem_tracker_;
   SocketDeltaTracker sock_tracker_;
+  // Recycled allocation for the unified socket_state buffer: each precopy
+  // round / freeze dump takes it, serializes in place, and puts the (cleared)
+  // storage back once the transport has copied the frame out.
+  Buffer sock_spare_;
   std::int64_t loop_timeout_ns_{0};
 
   std::vector<MigSocket> sockets_;

@@ -37,7 +37,7 @@ FrameChannel::~FrameChannel() {
   if (observer_) observer_->on_channel_closed(*this);
 }
 
-void FrameChannel::send(MsgType type, const Buffer& payload) {
+void FrameChannel::send(MsgType type, std::span<const std::uint8_t> payload) {
   // A poisoned receive side (fail_rx) must NOT block sending: answering
   // garbage with mig_abort is exactly how the migd fails fast. Only the
   // socket's state gates transmission — a killed channel aborted its socket,
@@ -68,6 +68,7 @@ void FrameChannel::send(MsgType type, const Buffer& payload) {
     if (observer_) observer_->on_channel_frame(*this, /*outbound=*/true, type,
                                                payload.size());
     BinaryWriter frame;
+    frame.reserve(payload.size() + 5);  // one allocation per frame
     frame.u32(static_cast<std::uint32_t>(payload.size() + 1));
     frame.u8(static_cast<std::uint8_t>(type));
     frame.bytes(payload);
@@ -144,7 +145,7 @@ void StripeSender::detach_callbacks() {
   on_all_drained_ = nullptr;
 }
 
-void StripeSender::send(MsgType inner, const Buffer& payload) {
+void StripeSender::send(MsgType inner, std::span<const std::uint8_t> payload) {
   DVEMIG_EXPECTS(payload.size() < kMaxFrameLen);
   FrameChannel::notify_frame(*channels_[0], /*outbound=*/true, inner, payload.size());
   logical_frames_ += 1;

@@ -12,6 +12,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/common/serial.hpp"
@@ -123,7 +124,9 @@ class FrameChannel {
   /// Invoked (at most once) when the receive stream is malformed.
   void set_on_error(ErrorFn fn) { on_error_ = std::move(fn); }
 
-  void send(MsgType type, const Buffer& payload);
+  /// The payload is copied into the frame before returning; callers may reuse
+  /// (or let die) the backing storage immediately.
+  void send(MsgType type, std::span<const std::uint8_t> payload);
   void send(MsgType type, BinaryWriter&& payload) { send(type, payload.buffer()); }
 
   stack::TcpSocket& socket() { return *sock_; }
@@ -170,7 +173,7 @@ class StripeSender {
 
   /// Queue one logical frame for striped transfer. Reported to the protocol
   /// observer as an outbound logical frame on the primary channel.
-  void send(MsgType inner, const Buffer& payload);
+  void send(MsgType inner, std::span<const std::uint8_t> payload);
 
   /// Invoke `fn` once every queue is empty and every channel socket has fully
   /// drained (all segments ACKed). One waiter at most; replaces any previous.

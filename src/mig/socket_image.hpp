@@ -32,6 +32,34 @@ struct CaptureSpec {
   void serialize(BinaryWriter& w) const;
   static CaptureSpec deserialize(BinaryReader& r);
   bool matches(const net::Packet& p) const;
+
+  // --- hash-index keys (DESIGN.md §12) -------------------------------------
+  // The capture index is two-tier: an exact tier keyed by the full
+  // (remote addr, remote port, local port) match tuple and a wildcard tier
+  // keyed by local port alone. Packing the tuples into integers keeps the
+  // per-packet lookup a single hash probe with no tuple hashing.
+
+  /// (remote addr, remote port, local port) packed; exact-tier key.
+  /// Only meaningful when match_remote is true.
+  std::uint64_t exact_key() const {
+    return pack_exact(remote.addr.value, remote.port, local_port);
+  }
+  /// Exact-tier key of the tuple a packet would have to match.
+  static std::uint64_t exact_key_for(const net::Packet& p) {
+    return pack_exact(p.src.value, p.sport(), p.dport());
+  }
+  /// (remote addr, remote port) packed; keys a wildcard spec's per-peer
+  /// dedup map.
+  static std::uint64_t peer_key_for(const net::Packet& p) {
+    return static_cast<std::uint64_t>(p.src.value) << 16 | p.sport();
+  }
+
+ private:
+  static std::uint64_t pack_exact(std::uint32_t raddr, net::Port rport,
+                                  net::Port lport) {
+    return static_cast<std::uint64_t>(raddr) << 32 |
+           static_cast<std::uint64_t>(rport) << 16 | lport;
+  }
 };
 
 enum class SectionFlags : std::uint8_t {

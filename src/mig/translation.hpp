@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/net/checksum.hpp"
 #include "src/stack/net_stack.hpp"
@@ -54,14 +56,58 @@ class TranslationManager {
   std::uint64_t out_rewritten() const { return out_rewritten_; }
   std::uint64_t in_rewritten() const { return in_rewritten_; }
 
+  /// Bench/test seam: route the two per-packet hooks through the pre-index
+  /// full-map walk instead of the tuple-hash index (equivalence oracle for
+  /// the connection_scale byte-identical gate). Process-wide.
+  static void set_reference_mode(bool on);
+  static bool reference_mode();
+
  private:
+  // Rules are matched by exact tuples, so each hot path is one hash probe
+  // (DESIGN.md §12). Keys pack (proto, endpoint, endpoint) into two words;
+  // bucket values are rule ids kept in ascending order, so the oldest rule
+  // wins — a deterministic refinement of the old first-in-map-order walk.
+  using Key2 = std::pair<std::uint64_t, std::uint64_t>;
+  struct Key2Hash {
+    std::size_t operator()(const Key2& k) const {
+      std::uint64_t h = k.first * 0x9E3779B97F4A7C15ULL;
+      h ^= h >> 29;
+      h = (h + k.second) * 0xBF58476D1CE4E5B9ULL;
+      return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+  };
+  using RuleIndex = std::unordered_map<Key2, std::vector<std::uint64_t>, Key2Hash>;
+
+  static std::uint64_t pack_ep(net::Endpoint e) {
+    return static_cast<std::uint64_t>(e.addr.value) << 16 | e.port;
+  }
+  static Key2 keyed(net::IpProto proto, net::Endpoint a, net::Endpoint b) {
+    return {static_cast<std::uint64_t>(proto) << 48 | pack_ep(a), pack_ep(b)};
+  }
+
   stack::Verdict on_local_out(net::Packet& p);
   stack::Verdict on_local_in(net::Packet& p);
+  stack::Verdict on_local_out_reference(net::Packet& p);
+  stack::Verdict on_local_in_reference(net::Packet& p);
+  void rewrite_out(const TranslationRule& rule, net::Packet& p);
+  void rewrite_in(const TranslationRule& rule, net::Packet& p);
+  void link_rule(std::uint64_t id, const TranslationRule& rule);
+  void unlink_rule(std::uint64_t id, const TranslationRule& rule);
   void update_hooks();
   void fix_cache(const TranslationRule& rule);
 
   stack::NetStack* stack_;
   std::unordered_map<std::uint64_t, TranslationRule> rules_;
+  // LOCAL_OUT: (proto, peer_local, mig_old) — the tuple an outgoing packet
+  // carries before rewriting.
+  RuleIndex out_index_;
+  // LOCAL_IN: (proto, peer_local, {mig_new_addr, mig_old.port}) — the tuple an
+  // incoming packet carries before rewriting. Doubles as the chained-install
+  // lookup: the rule to compose with is the one whose *output* address equals
+  // the new rule's origin, which is exactly this key.
+  RuleIndex in_index_;
+  // Protoless (peer_local, mig_old) for find_rule / remove_matching.
+  RuleIndex pair_index_;
   std::uint64_t next_rule_{0};
   stack::HookHandle out_hook_;
   stack::HookHandle in_hook_;

@@ -18,41 +18,48 @@ std::uint64_t next_packet_id() {
   return ++counter;
 }
 
-void write_u32_be(BinaryWriter& w, std::uint32_t v) {
-  w.u8(static_cast<std::uint8_t>(v >> 24));
-  w.u8(static_cast<std::uint8_t>(v >> 16));
-  w.u8(static_cast<std::uint8_t>(v >> 8));
-  w.u8(static_cast<std::uint8_t>(v));
-}
+// Ones'-complement accumulator over the checksum input stream, fed byte by
+// byte so no serialized copy of the packet is ever materialized (the fold runs
+// on every rx *and* every capture reinjection — it is a per-packet hot path).
+// Byte order per field matches the historical BinaryWriter-based encoding
+// exactly: addresses big-endian as on the wire (so the RFC 1624 incremental
+// update over a 32-bit address value composes with the full checksum), all
+// other header fields little-endian.
+struct ChecksumAcc {
+  std::uint32_t sum{0};
+  bool high{true};  // next byte lands in the high half of a 16-bit word
 
-Buffer checksum_input(const Packet& p) {
-  BinaryWriter w;
-  // Pseudo-header. Addresses are written big-endian, as on the wire, so that the
-  // RFC 1624 incremental checksum update over a 32-bit address value (used by the
-  // translation filter) composes with the full checksum.
-  write_u32_be(w, p.src.value);
-  write_u32_be(w, p.dst.value);
-  w.u8(0);
-  w.u8(static_cast<std::uint8_t>(p.proto));
-  w.u16(static_cast<std::uint16_t>(p.transport_size()));
-  // Transport header (checksum field itself excluded, as on the wire).
-  if (p.proto == IpProto::tcp) {
-    w.u16(p.tcp.sport);
-    w.u16(p.tcp.dport);
-    w.u32(p.tcp.seq);
-    w.u32(p.tcp.ack);
-    w.u8(p.tcp.flags);
-    w.u32(p.tcp.window);
-    w.u32(p.tcp.tsval);
-    w.u32(p.tcp.tsecr);
-  } else {
-    w.u16(p.udp.sport);
-    w.u16(p.udp.dport);
-    w.u16(static_cast<std::uint16_t>(p.payload.size()));
+  void byte(std::uint8_t b) {
+    sum += high ? static_cast<std::uint32_t>(b) << 8 : static_cast<std::uint32_t>(b);
+    high = !high;
   }
-  w.bytes(p.payload);
-  return w.take();
-}
+  void be32(std::uint32_t v) {
+    byte(static_cast<std::uint8_t>(v >> 24));
+    byte(static_cast<std::uint8_t>(v >> 16));
+    byte(static_cast<std::uint8_t>(v >> 8));
+    byte(static_cast<std::uint8_t>(v));
+  }
+  void le16(std::uint16_t v) {
+    byte(static_cast<std::uint8_t>(v));
+    byte(static_cast<std::uint8_t>(v >> 8));
+  }
+  void le32(std::uint32_t v) {
+    byte(static_cast<std::uint8_t>(v));
+    byte(static_cast<std::uint8_t>(v >> 8));
+    byte(static_cast<std::uint8_t>(v >> 16));
+    byte(static_cast<std::uint8_t>(v >> 24));
+  }
+  void span(std::span<const std::uint8_t> s) {
+    std::size_t i = 0;
+    // The TCP header fields above are an odd byte count, so the payload can
+    // start mid-word; realign, then sum whole 16-bit words.
+    if (!high && i < s.size()) byte(s[i++]);
+    for (; i + 1 < s.size(); i += 2) {
+      sum += static_cast<std::uint32_t>(s[i]) << 8 | s[i + 1];
+    }
+    if (i < s.size()) byte(s[i]);
+  }
+};
 
 }  // namespace
 
@@ -86,8 +93,30 @@ std::string Packet::describe() const {
 }
 
 std::uint16_t compute_checksum(const Packet& p) {
-  const Buffer input = checksum_input(p);
-  return internet_checksum(input);
+  ChecksumAcc acc;
+  // Pseudo-header.
+  acc.be32(p.src.value);
+  acc.be32(p.dst.value);
+  acc.byte(0);
+  acc.byte(static_cast<std::uint8_t>(p.proto));
+  acc.le16(static_cast<std::uint16_t>(p.transport_size()));
+  // Transport header (checksum field itself excluded, as on the wire).
+  if (p.proto == IpProto::tcp) {
+    acc.le16(p.tcp.sport);
+    acc.le16(p.tcp.dport);
+    acc.le32(p.tcp.seq);
+    acc.le32(p.tcp.ack);
+    acc.byte(p.tcp.flags);
+    acc.le32(p.tcp.window);
+    acc.le32(p.tcp.tsval);
+    acc.le32(p.tcp.tsecr);
+  } else {
+    acc.le16(p.udp.sport);
+    acc.le16(p.udp.dport);
+    acc.le16(static_cast<std::uint16_t>(p.payload.size()));
+  }
+  acc.span(p.payload.view());
+  return fold_checksum(acc.sum);
 }
 
 bool checksum_ok(const Packet& p) { return p.checksum == compute_checksum(p); }

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 
 #include "src/common/serial.hpp"
@@ -43,6 +45,66 @@ struct UdpHeader {
   Port dport{0};
 };
 
+/// Copy-on-write payload bytes.
+///
+/// Copying a Packet shares the payload allocation instead of cloning it: the
+/// single-IP router broadcasts every client packet to all N nodes (Section
+/// V-B), and the capture queue stores stolen packets until reinjection — both
+/// were N deep copies of the same bytes. Readers see plain byte access;
+/// mutation (`operator[]`, `push_back`) detaches from any sharers first, so a
+/// hook rewriting one broadcast copy never bleeds into the others.
+class SharedPayload {
+ public:
+  SharedPayload() = default;
+  SharedPayload(Buffer b)  // NOLINT(google-explicit-constructor)
+      : data_(b.empty() ? nullptr : std::make_shared<Buffer>(std::move(b))) {}
+
+  std::size_t size() const { return data_ ? data_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  std::span<const std::uint8_t> view() const {
+    return data_ ? std::span<const std::uint8_t>(*data_)
+                 : std::span<const std::uint8_t>{};
+  }
+  operator std::span<const std::uint8_t>() const {  // NOLINT
+    return view();
+  }
+  const std::uint8_t& operator[](std::size_t i) const { return (*data_)[i]; }
+
+  /// Mutable access: detaches from sharers first (copy-on-write).
+  std::uint8_t& operator[](std::size_t i) { return (*detach())[i]; }
+  void push_back(std::uint8_t b) { detach()->push_back(b); }
+
+  /// Deep copy into an owned Buffer (e.g. a socket receive queue keeping the
+  /// bytes past the packet's lifetime).
+  Buffer copy() const { return data_ ? *data_ : Buffer{}; }
+
+  /// Take the bytes out, leaving the payload empty — moves when this is the
+  /// sole owner, copies otherwise.
+  Buffer take() {
+    if (!data_) return {};
+    Buffer out = data_.use_count() == 1 ? std::move(*data_) : *data_;
+    data_.reset();
+    return out;
+  }
+
+  /// Introspection for tests: do two payloads alias one allocation?
+  bool shares_storage_with(const SharedPayload& o) const {
+    return data_ != nullptr && data_ == o.data_;
+  }
+
+ private:
+  Buffer* detach() {
+    if (!data_) {
+      data_ = std::make_shared<Buffer>();
+    } else if (data_.use_count() > 1) {
+      data_ = std::make_shared<Buffer>(*data_);
+    }
+    return data_.get();
+  }
+
+  std::shared_ptr<Buffer> data_;
+};
+
 struct Packet {
   Ipv4Addr src{};
   Ipv4Addr dst{};
@@ -50,7 +112,7 @@ struct Packet {
   std::uint8_t ttl{64};
   TcpHeader tcp{};
   UdpHeader udp{};
-  Buffer payload;
+  SharedPayload payload;      // COW: packet copies share the allocation
   std::uint16_t checksum{0};  // transport checksum (pseudo-header included)
   std::uint64_t id{0};        // trace id, unique per packet creation
 

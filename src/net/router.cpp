@@ -53,7 +53,9 @@ void BroadcastRouter::from_client(Packet p) {
     return;
   }
   // The defining behaviour: no connection tracking, no MAC rewriting — a copy of
-  // every incoming packet reaches every cluster node's public interface.
+  // every incoming packet reaches every cluster node's public interface. The
+  // copies are shallow: Packet's payload is copy-on-write, so the N broadcast
+  // copies share one allocation until a receiver mutates its payload.
   for (auto& [key, port] : nodes_) {
     if (!port->alive) continue;
     broadcast_copies_ += 1;

@@ -108,6 +108,61 @@ class Registry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
+/// Lazily-bound cached handle to a named counter.
+///
+/// The registry is append-only: `Registry::reset()` zeroes values but never
+/// destroys a metric, so a bound pointer stays valid for the whole process.
+/// What the old pattern — caching `Counter&` in *function-local statics* —
+/// got wrong is ownership scope: the static outlives every object using it
+/// and can never be re-audited per instance, and a multi-case bench process
+/// that resets the registry between cases cannot tell a stale-but-valid
+/// handle from one bound against a different registry generation. Holding a
+/// `CounterRef` as an instance member scopes the cache to its owner; binding
+/// is deferred to first use so constructing the owner costs no registry
+/// lookup, and `rebind()` exists for harnesses that want to prove the handle
+/// survives `reset()`.
+class CounterRef {
+ public:
+  explicit CounterRef(std::string name) : name_(std::move(name)) {}
+
+  Counter& get() {
+    if (counter_ == nullptr) counter_ = &Registry::instance().counter(name_);
+    return *counter_;
+  }
+
+  /// Drop the cached pointer and re-resolve on next use. `Registry::reset()`
+  /// keeps old pointers valid, so this is never *required* — it exists so
+  /// tests can assert that a re-resolved handle is the same object.
+  void rebind() { counter_ = nullptr; }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  Counter* counter_{nullptr};
+};
+
+/// Histogram analog of CounterRef; `bounds` is consulted on first creation only.
+class HistogramRef {
+ public:
+  explicit HistogramRef(std::string name, std::vector<double> bounds = {})
+      : name_(std::move(name)), bounds_(std::move(bounds)) {}
+
+  Histogram& get() {
+    if (hist_ == nullptr) hist_ = &Registry::instance().histogram(name_, bounds_);
+    return *hist_;
+  }
+
+  void rebind() { hist_ = nullptr; }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<double> bounds_;
+  Histogram* hist_{nullptr};
+};
+
 /// Escape a string for embedding in a JSON document (shared by the span
 /// tracer's trace_event export and the bench reports).
 std::string json_escape(const std::string& s);

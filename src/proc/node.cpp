@@ -10,10 +10,13 @@ Node::Node(sim::Engine& engine, NodeConfig config)
   cpu_.start();
 }
 
-Pid Node::allocate_pid() {
-  static std::uint32_t counter = 1000;
-  return Pid{++counter};
-}
+namespace {
+std::uint32_t g_pid_counter = 1000;
+}  // namespace
+
+Pid Node::allocate_pid() { return Pid{++g_pid_counter}; }
+
+void Node::reset_pid_counter() { g_pid_counter = 1000; }
 
 std::shared_ptr<Process> Node::spawn(std::string name) {
   auto proc = std::make_shared<Process>(*this, allocate_pid(), std::move(name));

@@ -52,6 +52,11 @@ class Node {
   /// Cluster-unique pid allocation (shared across all nodes, like a cluster PID
   /// namespace — keeps pids stable across migrations).
   static Pid allocate_pid();
+  /// Rewind the cluster pid counter to its boot value. Pids seed each
+  /// process's workload RNG, so a harness that runs several simulations in
+  /// one OS process must reset between runs to make them comparable — only
+  /// safe once every Node from the previous run is gone.
+  static void reset_pid_counter();
 
  private:
   sim::Engine* engine_;

@@ -3,12 +3,23 @@
 #include <algorithm>
 
 #include "src/common/assert.hpp"
-#include "src/obs/metrics.hpp"
 
 namespace dvemig::stack {
 
+NetfilterChain::NetfilterChain() {
+  for (auto& counter : pending_dead_) counter = std::make_shared<std::uint32_t>(0);
+}
+
+void NetfilterChain::compact(Hook hook) {
+  auto& pending = *pending_dead_[static_cast<int>(hook)];
+  if (pending == 0) return;
+  std::erase_if(chain(hook), [](const Entry& e) { return !*e.alive; });
+  pending = 0;
+}
+
 HookHandle NetfilterChain::register_hook(Hook hook, int priority, HookFn fn) {
   DVEMIG_EXPECTS(fn != nullptr);
+  compact(hook);  // registration is rare: a good moment to pay the sweep
   auto alive = std::make_shared<bool>(true);
   auto& entries = chain(hook);
   Entry entry{priority, next_seq_++, alive, std::move(fn)};
@@ -17,21 +28,22 @@ HookHandle NetfilterChain::register_hook(Hook hook, int priority, HookFn fn) {
         return a.priority != b.priority ? a.priority < b.priority : a.seq < b.seq;
       });
   entries.insert(pos, std::move(entry));
-  return HookHandle{alive};
+  return HookHandle{std::move(alive), pending_dead_[static_cast<int>(hook)]};
 }
 
 Verdict NetfilterChain::run(Hook hook, net::Packet& p) {
+  // Compact only when a release is pending (O(1) test on the per-packet path;
+  // the old unconditional erase_if swept the whole chain for every packet).
+  // Compaction never happens mid-iteration, so a hook releasing itself — or a
+  // later hook — during this run merely flags the entry; the `alive` test
+  // below keeps released hooks from firing again within the same pass.
+  compact(hook);
   auto& entries = chain(hook);
-  // Prune dead registrations first so iteration below stays simple even if a hook
-  // releases itself (or another) mid-run — released hooks fire at most this pass.
-  std::erase_if(entries, [](const Entry& e) { return !*e.alive; });
-  static obs::Counter& stolen = obs::Registry::instance().counter("nf.stolen");
-  static obs::Counter& dropped = obs::Registry::instance().counter("nf.dropped");
   for (const auto& entry : entries) {
     if (!*entry.alive) continue;
     const Verdict v = entry.fn(p);
-    if (v == Verdict::stolen) stolen.add(1);
-    if (v == Verdict::drop) dropped.add(1);
+    if (v == Verdict::stolen) stolen_.get().add(1);
+    if (v == Verdict::drop) dropped_.get().add(1);
     if (v != Verdict::accept) return v;
   }
   return Verdict::accept;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/net/packet.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace dvemig::stack {
 
@@ -35,22 +36,36 @@ class HookHandle {
  public:
   HookHandle() = default;
   void release() {
-    if (alive_) *alive_ = false;
+    if (alive_ && *alive_) {
+      *alive_ = false;
+      if (pending_dead_) *pending_dead_ += 1;
+    }
     alive_.reset();
+    pending_dead_.reset();
   }
   bool registered() const { return alive_ && *alive_; }
 
  private:
   friend class NetfilterChain;
-  explicit HookHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  HookHandle(std::shared_ptr<bool> alive, std::shared_ptr<std::uint32_t> pending)
+      : alive_(std::move(alive)), pending_dead_(std::move(pending)) {}
   std::shared_ptr<bool> alive_;
+  // Per-hook-point released-entry count, shared with the owning chain: release()
+  // bumps it, and the chain compacts only when it is non-zero — the per-packet
+  // fast path pays one integer test instead of an erase_if sweep.
+  std::shared_ptr<std::uint32_t> pending_dead_;
 };
 
 class NetfilterChain {
  public:
+  NetfilterChain();
+
   [[nodiscard]] HookHandle register_hook(Hook hook, int priority, HookFn fn);
 
-  /// Run the chain for `hook` over `p`. Dead registrations are pruned lazily.
+  /// Run the chain for `hook` over `p`. Dead registrations are pruned lazily:
+  /// compaction happens only when a release is pending, at run entry or on the
+  /// next registration — never mid-iteration, so a hook releasing itself (or
+  /// another) while the chain runs stays safe.
   Verdict run(Hook hook, net::Packet& p);
 
   std::size_t hook_count(Hook hook) const;
@@ -67,9 +82,13 @@ class NetfilterChain {
   const std::vector<Entry>& chain(Hook hook) const {
     return chains_[static_cast<int>(hook)];
   }
+  void compact(Hook hook);
 
   std::vector<Entry> chains_[2];
+  std::shared_ptr<std::uint32_t> pending_dead_[2];
   std::uint64_t next_seq_{0};
+  obs::CounterRef stolen_{"nf.stolen"};
+  obs::CounterRef dropped_{"nf.dropped"};
 };
 
 }  // namespace dvemig::stack

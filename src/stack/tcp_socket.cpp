@@ -478,7 +478,7 @@ void TcpSocket::handle_payload(net::Packet& p) {
   if (seq_gt(seq, cb_.rcv_nxt)) {
     // Out of order: buffer if in window, then duplicate-ACK to hint the gap.
     if (seq - cb_.rcv_nxt < cb_.rcv_wnd_max && !cb_.ooo_queue.contains(seq)) {
-      cb_.ooo_queue.emplace(seq, TcpRxSegment{seq, p.payload, fin});
+      cb_.ooo_queue.emplace(seq, TcpRxSegment{seq, p.payload.copy(), fin});
     }
     send_ack();
     return;
@@ -502,7 +502,7 @@ void TcpSocket::handle_payload(net::Packet& p) {
       fin_now = true;
     }
   };
-  deliver(seq, std::move(p.payload), fin);
+  deliver(seq, p.payload.take(), fin);
 
   // Drain the out-of-order queue while it is contiguous.
   while (!cb_.ooo_queue.empty()) {

@@ -65,7 +65,7 @@ void UdpSocket::datagram_arrived(const net::Packet& p) {
   }
   cb_.datagrams_in += 1;
   cb_.receive_queue.push_back(
-      UdpDatagram{net::Endpoint{p.src, p.udp.sport}, p.payload});
+      UdpDatagram{net::Endpoint{p.src, p.udp.sport}, p.payload.copy()});
   if (on_readable_) on_readable_();
 }
 

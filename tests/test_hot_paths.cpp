@@ -1,0 +1,638 @@
+// Connection-scale hot paths (DESIGN.md §12): the capture/translation filter
+// indexes, the netfilter lazy prune, copy-on-write packet payloads, the
+// in-place serialization writer primitives, and the registry-reset-safe
+// metric handles. Each index change also carries an equivalence test against
+// the pre-index reference implementation.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "src/dve/testbed.hpp"
+#include "src/dve/zone_server.hpp"
+#include "src/mig/capture.hpp"
+#include "src/mig/protocol.hpp"
+#include "src/mig/socket_image.hpp"
+#include "src/mig/translation.hpp"
+#include "src/net/checksum.hpp"
+#include "src/net/switch.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/stack/net_stack.hpp"
+
+namespace dvemig::mig {
+namespace {
+
+using stack::NetStack;
+
+const net::Ipv4Addr kAddrA = net::Ipv4Addr::octets(10, 0, 0, 1);
+const net::Ipv4Addr kAddrB = net::Ipv4Addr::octets(10, 0, 0, 2);
+const net::Ipv4Addr kAddrC = net::Ipv4Addr::octets(10, 0, 0, 3);
+const net::Ipv4Addr kAddrD = net::Ipv4Addr::octets(10, 0, 0, 4);
+
+struct TwoHosts {
+  sim::Engine engine;
+  net::Switch sw{engine, net::LinkConfig{1e9, SimTime::microseconds(25)}};
+  NetStack a{engine, "hostA", SimTime::seconds(100)};
+  NetStack b{engine, "hostB", SimTime::seconds(350)};
+
+  TwoHosts() {
+    a.add_interface(kAddrA,
+                    sw.attach(kAddrA, [this](net::Packet p) { a.rx(std::move(p)); }));
+    b.add_interface(kAddrB,
+                    sw.attach(kAddrB, [this](net::Packet p) { b.rx(std::move(p)); }));
+  }
+};
+
+// ------------------------------------------------------- netfilter lazy prune
+
+TEST(NetfilterPruneTest, SelfReleaseDuringRunIsSafeAndSweptLater) {
+  stack::NetfilterChain nf;
+  int first_runs = 0, second_runs = 0;
+  stack::HookHandle h1, h2;
+  h1 = nf.register_hook(stack::Hook::local_in, 0, [&](net::Packet&) {
+    first_runs += 1;
+    h1.release();  // a hook tearing itself down mid-run
+    return stack::Verdict::accept;
+  });
+  h2 = nf.register_hook(stack::Hook::local_in, 10, [&](net::Packet&) {
+    second_runs += 1;
+    return stack::Verdict::accept;
+  });
+
+  net::Packet p = net::make_udp({kAddrA, 1}, {kAddrB, 2}, Buffer{1});
+  EXPECT_EQ(nf.run(stack::Hook::local_in, p), stack::Verdict::accept);
+  EXPECT_EQ(first_runs, 1);
+  EXPECT_EQ(second_runs, 1);  // the chain kept running past the self-release
+  EXPECT_FALSE(h1.registered());
+  EXPECT_EQ(nf.hook_count(stack::Hook::local_in), 1u);
+
+  // Next run compacts the dead entry and never calls it again.
+  EXPECT_EQ(nf.run(stack::Hook::local_in, p), stack::Verdict::accept);
+  EXPECT_EQ(first_runs, 1);
+  EXPECT_EQ(second_runs, 2);
+  h2.release();
+}
+
+TEST(NetfilterPruneTest, ReleaseOfLaterHookDuringRunSkipsItSamePass) {
+  stack::NetfilterChain nf;
+  int later_runs = 0;
+  stack::HookHandle killer, victim;
+  killer = nf.register_hook(stack::Hook::local_out, 0, [&](net::Packet&) {
+    victim.release();  // releases a hook *behind* it in the same pass
+    return stack::Verdict::accept;
+  });
+  victim = nf.register_hook(stack::Hook::local_out, 10, [&](net::Packet&) {
+    later_runs += 1;
+    return stack::Verdict::accept;
+  });
+  net::Packet p = net::make_udp({kAddrA, 1}, {kAddrB, 2}, Buffer{1});
+  nf.run(stack::Hook::local_out, p);
+  EXPECT_EQ(later_runs, 0);  // the alive flag stops it within the same pass
+  nf.run(stack::Hook::local_out, p);
+  EXPECT_EQ(later_runs, 0);
+  killer.release();
+}
+
+TEST(NetfilterPruneTest, RegistrationAfterReleasesKeepsOrderAndCount) {
+  stack::NetfilterChain nf;
+  std::vector<int> order;
+  auto mk = [&](int tag, int prio) {
+    return nf.register_hook(stack::Hook::local_in, prio, [&order, tag](net::Packet&) {
+      order.push_back(tag);
+      return stack::Verdict::accept;
+    });
+  };
+  stack::HookHandle h1 = mk(1, 0), h2 = mk(2, 5), h3 = mk(3, 10);
+  h2.release();
+  // Registration compacts the pending release, then inserts in priority order.
+  stack::HookHandle h4 = mk(4, 7);
+  EXPECT_EQ(nf.hook_count(stack::Hook::local_in), 3u);
+  net::Packet p = net::make_udp({kAddrA, 1}, {kAddrB, 2}, Buffer{1});
+  nf.run(stack::Hook::local_in, p);
+  EXPECT_EQ(order, (std::vector<int>{1, 4, 3}));
+  h1.release();
+  h3.release();
+  h4.release();
+}
+
+// --------------------------------------------------------- checksum equivalence
+
+// The historical checksum implementation serialized pseudo-header + transport
+// header + payload into a scratch buffer and folded that. Rebuild that exact
+// byte stream here and check the allocation-free accumulator agrees on it.
+Buffer reference_checksum_input(const net::Packet& p) {
+  Buffer b;
+  auto be32 = [&](std::uint32_t v) {
+    b.push_back(static_cast<std::uint8_t>(v >> 24));
+    b.push_back(static_cast<std::uint8_t>(v >> 16));
+    b.push_back(static_cast<std::uint8_t>(v >> 8));
+    b.push_back(static_cast<std::uint8_t>(v));
+  };
+  auto le16 = [&](std::uint16_t v) {
+    b.push_back(static_cast<std::uint8_t>(v));
+    b.push_back(static_cast<std::uint8_t>(v >> 8));
+  };
+  auto le32 = [&](std::uint32_t v) {
+    b.push_back(static_cast<std::uint8_t>(v));
+    b.push_back(static_cast<std::uint8_t>(v >> 8));
+    b.push_back(static_cast<std::uint8_t>(v >> 16));
+    b.push_back(static_cast<std::uint8_t>(v >> 24));
+  };
+  be32(p.src.value);
+  be32(p.dst.value);
+  b.push_back(0);
+  b.push_back(static_cast<std::uint8_t>(p.proto));
+  le16(static_cast<std::uint16_t>(p.transport_size()));
+  if (p.proto == net::IpProto::tcp) {
+    le16(p.tcp.sport);
+    le16(p.tcp.dport);
+    le32(p.tcp.seq);
+    le32(p.tcp.ack);
+    b.push_back(p.tcp.flags);
+    le32(p.tcp.window);
+    le32(p.tcp.tsval);
+    le32(p.tcp.tsecr);
+  } else {
+    le16(p.udp.sport);
+    le16(p.udp.dport);
+    le16(static_cast<std::uint16_t>(p.payload.size()));
+  }
+  const auto payload = p.payload.view();
+  b.insert(b.end(), payload.begin(), payload.end());
+  return b;
+}
+
+TEST(ChecksumTest, InPlaceAccumulatorMatchesBufferedReference) {
+  // Odd/even payload lengths exercise the odd-tail and realignment paths (the
+  // TCP payload starts at odd offset 37 in the historical stream).
+  for (const std::size_t len : {0u, 1u, 2u, 3u, 32u, 33u, 255u}) {
+    Buffer payload(len);
+    for (std::size_t i = 0; i < len; ++i) payload[i] = static_cast<std::uint8_t>(i * 7 + 1);
+    net::TcpHeader hdr;
+    hdr.seq = 0xDEADBEEF;
+    hdr.ack = 0x12345678;
+    hdr.flags = net::tcp_flags::ack | net::tcp_flags::psh;
+    hdr.tsval = 111;
+    hdr.tsecr = 222;
+    net::Packet t = net::make_tcp({kAddrA, 1111}, {kAddrB, 9000}, hdr, payload);
+    EXPECT_EQ(net::compute_checksum(t),
+              net::internet_checksum(reference_checksum_input(t)))
+        << "tcp payload len " << len;
+    net::Packet u = net::make_udp({kAddrA, 1111}, {kAddrB, 9000}, payload);
+    EXPECT_EQ(net::compute_checksum(u),
+              net::internet_checksum(reference_checksum_input(u)))
+        << "udp payload len " << len;
+  }
+}
+
+TEST(ChecksumTest, IncrementalAdjustEqualsFullRecompute) {
+  // RFC 1624 update after an address rewrite (exactly what the translation
+  // filter does) must land on the same checksum as re-summing the packet.
+  for (const std::size_t len : {0u, 15u, 64u}) {
+    net::TcpHeader hdr;
+    hdr.flags = net::tcp_flags::ack;
+    hdr.seq = 42;
+    net::Packet p = net::make_tcp({kAddrC, 3306}, {kAddrA, 45000}, hdr, Buffer(len, 9));
+    ASSERT_TRUE(net::checksum_ok(p));
+
+    net::Packet out = p;  // LOCAL_OUT rewrite: dst A -> B
+    const std::uint32_t old_dst = out.dst.value;
+    out.dst = kAddrB;
+    out.checksum = net::checksum_adjust32(out.checksum, old_dst, out.dst.value);
+    EXPECT_EQ(out.checksum, net::compute_checksum(out)) << "len " << len;
+
+    net::Packet in = p;  // LOCAL_IN rewrite: src C -> D
+    const std::uint32_t old_src = in.src.value;
+    in.src = kAddrD;
+    in.checksum = net::checksum_adjust32(in.checksum, old_src, in.src.value);
+    EXPECT_EQ(in.checksum, net::compute_checksum(in)) << "len " << len;
+  }
+}
+
+// ------------------------------------------------- registry-reset-safe handles
+
+TEST(MetricHandleTest, CounterRefSurvivesRegistryReset) {
+  obs::CounterRef ref("test.hot_paths.counter");
+  ref.get().add(3);
+  EXPECT_EQ(ref.get().value(), 3u);
+
+  obs::Registry::instance().reset();
+  // reset() zeroes values but keeps registrations: the cached handle stays
+  // valid and usable without rebinding.
+  EXPECT_EQ(ref.get().value(), 0u);
+  ref.get().add(1);
+  EXPECT_EQ(ref.get().value(), 1u);
+
+  obs::Counter* before = &ref.get();
+  ref.rebind();
+  EXPECT_EQ(&ref.get(), before);  // re-resolves to the very same object
+}
+
+TEST(MetricHandleTest, HistogramRefSurvivesRegistryReset) {
+  obs::HistogramRef ref("test.hot_paths.hist", {1.0, 10.0});
+  ref.get().record(5.0);
+  EXPECT_EQ(ref.get().count(), 1u);
+  obs::Registry::instance().reset();
+  EXPECT_EQ(ref.get().count(), 0u);
+  ref.get().record(0.5);
+  EXPECT_EQ(ref.get().count(), 1u);
+  obs::Histogram* before = &ref.get();
+  ref.rebind();
+  EXPECT_EQ(&ref.get(), before);
+}
+
+// ---------------------------------------------------------- COW packet payload
+
+TEST(SharedPayloadTest, PacketCopiesShareUntilMutation) {
+  net::Packet p = net::make_udp({kAddrA, 1}, {kAddrB, 2}, Buffer{1, 2, 3});
+  net::Packet q = p;  // the broadcast router's per-node copy
+  EXPECT_TRUE(p.payload.shares_storage_with(q.payload));
+
+  q.payload[0] = 99;  // mutation detaches the mutating copy only
+  EXPECT_FALSE(p.payload.shares_storage_with(q.payload));
+  EXPECT_EQ(p.payload[0], 1);
+  EXPECT_EQ(q.payload[0], 99);
+}
+
+TEST(SharedPayloadTest, TakeMovesWhenSoleOwnerCopiesWhenShared) {
+  net::Packet p = net::make_udp({kAddrA, 1}, {kAddrB, 2}, Buffer{4, 5});
+  net::Packet q = p;
+  const Buffer from_shared = q.payload.take();  // copies: p still holds bytes
+  EXPECT_EQ(from_shared, (Buffer{4, 5}));
+  EXPECT_TRUE(q.payload.empty());
+  EXPECT_EQ(p.payload.size(), 2u);
+
+  const Buffer from_sole = p.payload.take();  // sole owner: moves out
+  EXPECT_EQ(from_sole, (Buffer{4, 5}));
+  EXPECT_TRUE(p.payload.empty());
+
+  net::Packet r = net::make_udp({kAddrA, 1}, {kAddrB, 2}, Buffer{7});
+  EXPECT_EQ(r.payload.copy(), Buffer{7});  // deep copy leaves payload intact
+  EXPECT_EQ(r.payload.size(), 1u);
+}
+
+// ------------------------------------------------- BinaryWriter patch/rollback
+
+TEST(BinaryWriterTest, MarkPatchTruncateSpanFrom) {
+  BinaryWriter w;
+  w.reserve(64);
+  const std::size_t count_at = w.mark();
+  w.u32(0);  // placeholder, back-patched below
+  w.u8(0xAA);
+  const std::size_t section_at = w.mark();
+  w.u32(0x11223344);
+  EXPECT_EQ(w.span_from(section_at).size(), 4u);
+  EXPECT_EQ(w.span_from(section_at)[0], 0x44);  // little-endian
+
+  w.truncate_to(section_at);  // roll the section back
+  EXPECT_EQ(w.size(), 5u);
+  w.patch_u32(7, count_at);
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_EQ(r.u8(), 0xAA);
+  EXPECT_EQ(r.remaining(), 0u);
+
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+}
+
+// ------------------------------------------------------------- capture index
+
+TEST(CaptureIndexTest, ExactAndWildcardTiersBothCapture) {
+  TwoHosts h;
+  CaptureManager cap(h.b);
+  const std::uint64_t s = cap.begin_session();
+  cap.add_spec(s, CaptureSpec{net::IpProto::tcp, true, net::Endpoint{kAddrA, 1111}, 9000});
+  cap.add_spec(s, CaptureSpec{net::IpProto::tcp, false, {}, 9000});
+
+  net::TcpHeader hdr;
+  hdr.seq = 100;
+  hdr.flags = net::tcp_flags::ack;
+  // Exact-tier hit and wildcard-tier hit (unknown remote) both steal.
+  h.b.rx(net::make_tcp({kAddrA, 1111}, {kAddrB, 9000}, hdr, Buffer{1}));
+  h.b.rx(net::make_tcp({kAddrC, 2222}, {kAddrB, 9000}, hdr, Buffer{2}));
+  EXPECT_EQ(cap.queued(s), 2u);
+
+  // A retransmit through either tier dedups: the session is one dedup domain.
+  h.b.rx(net::make_tcp({kAddrA, 1111}, {kAddrB, 9000}, hdr, Buffer{1}));
+  h.b.rx(net::make_tcp({kAddrC, 2222}, {kAddrB, 9000}, hdr, Buffer{2}));
+  EXPECT_EQ(cap.queued(s), 2u);
+  EXPECT_EQ(cap.total_deduplicated(), 2u);
+  cap.abort_session(s);
+}
+
+TEST(CaptureIndexTest, WildcardSeedsDedupOfLaterExactSpec) {
+  // The iterative strategy adds specs one socket at a time: a listener's
+  // wildcard spec may capture a peer's segment before the accepted child's
+  // exact spec is installed. The exact spec must inherit those seen seqs, or
+  // the retransmit would be queued twice.
+  TwoHosts h;
+  CaptureManager cap(h.b);
+  const std::uint64_t s = cap.begin_session();
+  cap.add_spec(s, CaptureSpec{net::IpProto::tcp, false, {}, 9000});
+
+  net::TcpHeader hdr;
+  hdr.seq = 500;
+  hdr.flags = net::tcp_flags::ack;
+  h.b.rx(net::make_tcp({kAddrA, 1111}, {kAddrB, 9000}, hdr, Buffer{1}));
+  EXPECT_EQ(cap.queued(s), 1u);
+
+  cap.add_spec(s, CaptureSpec{net::IpProto::tcp, true, net::Endpoint{kAddrA, 1111}, 9000});
+  h.b.rx(net::make_tcp({kAddrA, 1111}, {kAddrB, 9000}, hdr, Buffer{1}));  // retransmit
+  EXPECT_EQ(cap.queued(s), 1u);  // deduped across the tier boundary
+  EXPECT_EQ(cap.total_deduplicated(), 1u);
+  cap.abort_session(s);
+}
+
+TEST(CaptureIndexTest, AbortRemovesSpecsFromIndex) {
+  TwoHosts h;
+  CaptureManager cap(h.b);
+  const std::uint64_t s1 = cap.begin_session();
+  const std::uint64_t s2 = cap.begin_session();
+  cap.add_spec(s1, CaptureSpec{net::IpProto::udp, false, {}, 5000});
+  cap.add_spec(s2, CaptureSpec{net::IpProto::udp, false, {}, 6000});
+
+  cap.abort_session(s1);
+  const std::uint64_t before = cap.total_captured();
+  h.b.rx(net::make_udp({kAddrA, 1}, {kAddrB, 5000}, Buffer{1}));  // aborted port
+  EXPECT_EQ(cap.total_captured(), before);  // no stale index entry fired
+  h.b.rx(net::make_udp({kAddrA, 1}, {kAddrB, 6000}, Buffer{2}));
+  EXPECT_EQ(cap.queued(s2), 1u);  // the surviving session still captures
+  cap.abort_session(s2);
+}
+
+TEST(CaptureIndexTest, DedupMetricsCountersPinned) {
+  // The obs counters the capture path feeds must count exactly as before the
+  // index: one `captured` per queued packet, one `dedup_hits` per suppressed
+  // retransmit.
+  obs::Registry::instance().reset();
+  TwoHosts h;
+  CaptureManager cap(h.b);
+  const std::uint64_t s = cap.begin_session();
+  cap.add_spec(s, CaptureSpec{net::IpProto::tcp, true, net::Endpoint{kAddrA, 1111}, 9000});
+  net::TcpHeader hdr;
+  hdr.flags = net::tcp_flags::ack;
+  for (const std::uint32_t seq : {10u, 10u, 10u, 20u}) {
+    hdr.seq = seq;
+    h.b.rx(net::make_tcp({kAddrA, 1111}, {kAddrB, 9000}, hdr, Buffer{1}));
+  }
+  const obs::Counter* captured =
+      obs::Registry::instance().find_counter("capture.captured");
+  const obs::Counter* dedup =
+      obs::Registry::instance().find_counter("capture.dedup_hits");
+  ASSERT_NE(captured, nullptr);
+  ASSERT_NE(dedup, nullptr);
+  EXPECT_EQ(captured->value(), 2u);
+  EXPECT_EQ(dedup->value(), 2u);
+  cap.abort_session(s);
+}
+
+// Property test: on a random packet stream, the indexed matcher makes exactly
+// the decisions the pre-index linear scan made — same stolen set, same queue
+// order, same dedup count.
+struct StreamResult {
+  std::vector<std::tuple<std::uint32_t, std::uint16_t, std::uint16_t, std::uint8_t,
+                         std::uint32_t>>
+      queued;
+  std::uint64_t captured{0};
+  std::uint64_t deduplicated{0};
+};
+
+StreamResult run_capture_stream(bool reference, std::uint32_t seed) {
+  CaptureManager::set_reference_mode(reference);
+  TwoHosts h;
+  CaptureManager cap(h.b);
+  const std::uint64_t s = cap.begin_session();
+  // Overlapping specs: exact + wildcard on one port, wildcard-only on another,
+  // exact-only on a third, plus UDP.
+  cap.add_spec(s, CaptureSpec{net::IpProto::tcp, true, net::Endpoint{kAddrA, 1111}, 9000});
+  cap.add_spec(s, CaptureSpec{net::IpProto::tcp, false, {}, 9000});
+  cap.add_spec(s, CaptureSpec{net::IpProto::tcp, false, {}, 9001});
+  cap.add_spec(s, CaptureSpec{net::IpProto::tcp, true, net::Endpoint{kAddrC, 3333}, 9002});
+  cap.add_spec(s, CaptureSpec{net::IpProto::udp, false, {}, 5000});
+
+  std::mt19937 rng(seed);
+  const net::Ipv4Addr srcs[] = {kAddrA, kAddrC, kAddrD};
+  const std::uint16_t sports[] = {1111, 2222, 3333};
+  const std::uint16_t dports[] = {9000, 9001, 9002, 9003, 5000};
+  for (int i = 0; i < 400; ++i) {
+    const net::Ipv4Addr src = srcs[rng() % 3];
+    const std::uint16_t sport = sports[rng() % 3];
+    const std::uint16_t dport = dports[rng() % 5];
+    if (rng() % 4 == 0) {
+      h.b.rx(net::make_udp({src, sport}, {kAddrB, dport}, Buffer{1}));
+    } else {
+      net::TcpHeader hdr;
+      hdr.flags = net::tcp_flags::ack;
+      hdr.seq = rng() % 8;  // small seq space: plenty of dedup hits
+      h.b.rx(net::make_tcp({src, sport}, {kAddrB, dport}, hdr, Buffer{2}));
+    }
+  }
+
+  StreamResult out;
+  cap.for_each_queued([&](std::uint64_t, const net::Packet& p) {
+    out.queued.emplace_back(p.src.value, p.sport(), p.dport(),
+                            static_cast<std::uint8_t>(p.proto),
+                            p.proto == net::IpProto::tcp ? p.tcp.seq : 0);
+  });
+  out.captured = cap.total_captured();
+  out.deduplicated = cap.total_deduplicated();
+  cap.abort_session(s);
+  CaptureManager::set_reference_mode(false);
+  return out;
+}
+
+TEST(CaptureIndexTest, PropertyIndexedEqualsLinearScan) {
+  for (const std::uint32_t seed : {1u, 7u, 42u}) {
+    const StreamResult ref = run_capture_stream(/*reference=*/true, seed);
+    const StreamResult idx = run_capture_stream(/*reference=*/false, seed);
+    EXPECT_GT(ref.captured, 0u);
+    EXPECT_GT(ref.deduplicated, 0u);  // the stream must exercise dedup
+    EXPECT_EQ(idx.queued, ref.queued) << "seed " << seed;
+    EXPECT_EQ(idx.captured, ref.captured) << "seed " << seed;
+    EXPECT_EQ(idx.deduplicated, ref.deduplicated) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------- translation index
+
+TEST(TranslationIndexTest, ChainedInstallComposesInPlace) {
+  TwoHosts h;
+  TranslationManager trans(h.b);
+  const std::uint64_t id1 = trans.install(
+      TranslationRule{net::IpProto::tcp, net::Endpoint{kAddrB, 3306},
+                      net::Endpoint{kAddrA, 45000}, kAddrC});
+  // The process moves again C -> D: the new rule's origin is the old rule's
+  // output, so it must compose into ORIG -> D, not stack a second rule.
+  const std::uint64_t id2 = trans.install(
+      TranslationRule{net::IpProto::tcp, net::Endpoint{kAddrB, 3306},
+                      net::Endpoint{kAddrC, 45000}, kAddrD});
+  EXPECT_EQ(id2, id1);
+  EXPECT_EQ(trans.active_rules(), 1u);
+  const auto rule = trans.find_rule(net::Endpoint{kAddrB, 3306},
+                                    net::Endpoint{kAddrA, 45000});
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_EQ(rule->mig_new_addr, kAddrD);
+
+  // And home again D -> A: the composed rule becomes identity and dissolves.
+  trans.install(TranslationRule{net::IpProto::tcp, net::Endpoint{kAddrB, 3306},
+                                net::Endpoint{kAddrD, 45000}, kAddrA});
+  EXPECT_EQ(trans.active_rules(), 0u);
+}
+
+TEST(TranslationIndexTest, OldestRuleWinsOnDuplicateTuple) {
+  TwoHosts h;
+  TranslationManager trans(h.b);
+  const std::uint64_t id1 = trans.install(
+      TranslationRule{net::IpProto::tcp, net::Endpoint{kAddrB, 3306},
+                      net::Endpoint{kAddrA, 45000}, kAddrC});
+  trans.install(TranslationRule{net::IpProto::udp, net::Endpoint{kAddrB, 3306},
+                                net::Endpoint{kAddrA, 45000}, kAddrD});
+  EXPECT_EQ(trans.active_rules(), 2u);
+
+  // Protoless lookup: the oldest matching rule is the deterministic winner.
+  const auto rule = trans.find_rule(net::Endpoint{kAddrB, 3306},
+                                    net::Endpoint{kAddrA, 45000});
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_EQ(rule->mig_new_addr, kAddrC);
+  (void)id1;
+
+  trans.remove_matching(net::Endpoint{kAddrB, 3306}, net::Endpoint{kAddrA, 45000});
+  EXPECT_EQ(trans.active_rules(), 0u);  // removes every rule of the pair
+  EXPECT_FALSE(trans.find_rule(net::Endpoint{kAddrB, 3306},
+                               net::Endpoint{kAddrA, 45000})
+                   .has_value());
+}
+
+TEST(TranslationIndexTest, IndexedRewriteEqualsReferenceWalk) {
+  for (const bool reference : {true, false}) {
+    TranslationManager::set_reference_mode(reference);
+    TwoHosts h;
+    TranslationManager trans(h.b);
+    trans.install(TranslationRule{net::IpProto::tcp, net::Endpoint{kAddrB, 3306},
+                                  net::Endpoint{kAddrA, 45000}, kAddrC});
+    net::Packet seen{};
+    bool got = false;
+    stack::HookHandle probe = h.b.netfilter().register_hook(
+        stack::Hook::local_in, 50, [&](net::Packet& p) {
+          seen = p;
+          got = true;
+          return stack::Verdict::stolen;
+        });
+    net::TcpHeader hdr;
+    hdr.flags = net::tcp_flags::ack;
+    h.b.rx(net::make_tcp({kAddrC, 45000}, {kAddrB, 3306}, hdr, Buffer(16, 3)));
+    ASSERT_TRUE(got) << "reference=" << reference;
+    EXPECT_EQ(seen.src, kAddrA) << "reference=" << reference;
+    EXPECT_TRUE(net::checksum_ok(seen)) << "reference=" << reference;
+    EXPECT_EQ(trans.in_rewritten(), 1u);
+    probe.release();
+    TranslationManager::set_reference_mode(false);
+  }
+}
+
+TEST(TranslationIndexTest, NonMatchingPacketUntouchedByIndex) {
+  TwoHosts h;
+  TranslationManager trans(h.b);
+  trans.install(TranslationRule{net::IpProto::tcp, net::Endpoint{kAddrB, 3306},
+                                net::Endpoint{kAddrA, 45000}, kAddrC});
+  net::Packet seen{};
+  stack::HookHandle probe = h.b.netfilter().register_hook(
+      stack::Hook::local_in, 50, [&](net::Packet& p) {
+        seen = p;
+        return stack::Verdict::stolen;
+      });
+  net::TcpHeader hdr;
+  hdr.flags = net::tcp_flags::ack;
+  // Same port pair, different remote address: must not match the rule.
+  h.b.rx(net::make_tcp({kAddrD, 45000}, {kAddrB, 3306}, hdr, Buffer{1}));
+  EXPECT_EQ(seen.src, kAddrD);
+  EXPECT_EQ(trans.in_rewritten(), 0u);
+  probe.release();
+}
+
+// ------------------------------------------------- chunked socket_state dumps
+
+// Counts outbound socket_state frames across every channel. Registered only
+// while no dvemig-verify instance is alive (one observer at most).
+struct FrameCounter : FrameChannel::Observer {
+  int socket_state_frames = 0;
+  void on_channel_frame(const FrameChannel&, bool outbound, MsgType type,
+                        std::size_t) override {
+    if (outbound && type == MsgType::socket_state) socket_state_frames += 1;
+  }
+};
+
+MigrationStats run_collective_with_chunk_limit(std::int64_t chunk_bytes,
+                                               int* socket_state_frames) {
+  // Pids seed each process's workload RNG; resetting makes the two runs of
+  // this test identical up to the freeze-phase send being compared.
+  proc::Node::reset_pid_counter();
+  dve::TestbedConfig cfg;
+  cfg.dve_nodes = 2;
+  cfg.cost_model.socket_chunk_bytes = chunk_bytes;
+  dve::Testbed bed(cfg);
+  dve::ZoneServerConfig zs;
+  zs.zone = 4;
+  zs.use_db = false;
+  auto proc = dve::ZoneServerApp::launch(bed.node(0).node, zs);
+  std::vector<std::unique_ptr<dve::TcpDveClient>> clients;
+  for (int i = 0; i < 8; ++i) {
+    auto c = std::make_unique<dve::TcpDveClient>(bed.make_client_host(),
+                                                 bed.public_ip());
+    c->connect_to_zone(zs.zone);
+    clients.push_back(std::move(c));
+  }
+  bed.run_for(SimTime::seconds(1));
+
+  FrameCounter counter;
+  FrameChannel::set_observer(&counter);
+  MigrationStats stats;
+  bool done = false;
+  bed.node(0).migd.migrate(
+      proc->pid(), bed.node(1).node.local_addr(), SocketMigStrategy::collective,
+      [&](const MigrationStats& s) {
+        stats = s;
+        done = true;
+      });
+  bed.run_for(SimTime::seconds(5));
+  FrameChannel::set_observer(nullptr);
+  EXPECT_TRUE(done);
+  for (const auto& c : clients) {
+    EXPECT_TRUE(c->connected());
+    EXPECT_EQ(c->resets_seen(), 0u);
+  }
+  *socket_state_frames = counter.socket_state_frames;
+  return stats;
+}
+
+TEST(SocketChunkTest, TinyChunkLimitSplitsDumpWithoutChangingOutcome) {
+  int chunked_frames = 0;
+  int whole_frames = 0;
+  const MigrationStats chunked =
+      run_collective_with_chunk_limit(2048, &chunked_frames);
+  const MigrationStats whole =
+      run_collective_with_chunk_limit(64LL * 1024 * 1024, &whole_frames);
+
+  ASSERT_TRUE(chunked.success);
+  ASSERT_TRUE(whole.success);
+  // A full TCP record (~2.9 KiB of struct pad alone) overshoots the 2 KiB
+  // limit by itself, so the unified dump splits into many frames; the default
+  // limit ships the pre-chunking single frame.
+  EXPECT_GT(chunked_frames, 1);
+  EXPECT_EQ(whole_frames, 1);
+  EXPECT_EQ(chunked.socket_count, whole.socket_count);
+  EXPECT_EQ(chunked.captured, chunked.reinjected);
+  EXPECT_EQ(whole.captured, whole.reinjected);
+  // Chunking changes framing, not payload: the dumps differ by exactly one
+  // u32 record-count prefix per extra frame.
+  EXPECT_EQ(chunked.freeze_socket_bytes,
+            whole.freeze_socket_bytes +
+                sizeof(std::uint32_t) *
+                    static_cast<std::uint64_t>(chunked_frames - whole_frames));
+}
+
+}  // namespace
+}  // namespace dvemig::mig

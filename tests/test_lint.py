@@ -132,6 +132,61 @@ class PhaseSpanMultiline(unittest.TestCase):
         self.assertNotIn("[phase-span]", out)
 
 
+class NoLinearFilterScan(unittest.TestCase):
+    """Linear scans over filter containers are only legal in the index files."""
+
+    SCAN = (
+        "void f() {\n"
+        "  for (const auto& [id, rule] : rules_) {\n"
+        "    (void)id; (void)rule;\n"
+        "  }\n"
+        "}\n"
+    )
+
+    def lint_snippet(self, rel: str, body: str) -> tuple[int, str]:
+        with tempfile.TemporaryDirectory() as tmp:
+            tgt = pathlib.Path(tmp) / rel
+            tgt.parent.mkdir(parents=True)
+            tgt.write_text(body)
+            return run_lint(pathlib.Path(tmp))
+
+    def test_scan_outside_index_files_is_flagged(self) -> None:
+        code, out = self.lint_snippet("src/mig/other.cpp", self.SCAN)
+        self.assertNotEqual(code, 0)
+        self.assertIn("[no-linear-filter-scan]", out)
+        self.assertIn("src/mig/other.cpp:2", out)
+
+    def test_member_specs_scan_is_flagged(self) -> None:
+        _, out = self.lint_snippet(
+            "src/stack/other.cpp",
+            "void g(Session& s) {\n"
+            "  for (const SpecState& state : s.specs) { (void)state; }\n"
+            "}\n",
+        )
+        self.assertIn("[no-linear-filter-scan]", out)
+
+    def test_same_scan_in_index_implementation_passes(self) -> None:
+        # Identical text, but in the exempt index implementation file.
+        _, out = self.lint_snippet("src/mig/translation.cpp", self.SCAN)
+        self.assertNotIn("[no-linear-filter-scan]", out)
+
+    def test_call_and_local_ranges_are_not_matches(self) -> None:
+        # `specs_for(...)` is a call, and `specs` a plain local — neither is a
+        # scan over the indexed member containers.
+        _, out = self.lint_snippet(
+            "src/mig/other.cpp",
+            "void h(MigrationSession& ms, std::vector<CaptureSpec> specs) {\n"
+            "  for (CaptureSpec& s : specs_for(ms)) all.push_back(s);\n"
+            "  for (const CaptureSpec& s : specs) use(s);\n"
+            "}\n",
+        )
+        self.assertNotIn("[no-linear-filter-scan]", out)
+
+    def test_real_tree_has_no_stray_scans(self) -> None:
+        _, out = run_lint(REPO)
+        self.assertNotIn("[no-linear-filter-scan]", out)
+
+
 class DesignInventory(unittest.TestCase):
     """DESIGN.md §3 must name every src/ subdirectory that holds sources."""
 

@@ -39,6 +39,17 @@ phase-span
     The assignment is matched across line breaks (``phase_ =`` on one line,
     ``Phase::...`` on the next is still a transition).
 
+no-linear-filter-scan
+    Range-for loops over the capture-spec / translation-rule containers
+    (``rules_``, ``specs_``, ``.specs``/``->specs`` members) are forbidden
+    outside the two index implementations (src/mig/capture.cpp,
+    src/mig/translation.cpp). Per-packet matching is O(1) through the tuple
+    hash indexes of DESIGN.md §12; a new linear scan over those containers
+    quietly reintroduces the O(n·m) hot path the index removed. Loops over
+    plain locals (e.g. a deserialized ``specs`` vector) or calls such as
+    ``specs_for(...)`` are not matches — the rule anchors on member-style
+    container names.
+
 serializer-symmetry
     Every serialize/deserialize pair (``serialize*``/``deserialize*`` methods,
     ``write_X``/``read_X`` free helpers) defined in the same file must put and
@@ -104,6 +115,13 @@ RE_PAIRS = [("ehash_insert", "ehash_remove"), ("bhash_insert", "bhash_remove")]
 # missed those transitions.
 RE_PHASE_WRITE = re.compile(r"\bphase_?\s*=\s*(?:\w+::)*Phase::\w+")
 RE_SPAN_OP = re.compile(r"OBS_SPAN|[Ss]pan|tracer\s*\(\)|obs::")
+
+# no-linear-filter-scan: a range-for whose range names a filter container in
+# member style. Bare locals (`: specs)`) intentionally do not match.
+RE_LINEAR_FILTER_SCAN = re.compile(
+    r"\bfor\s*\([^;)]*:\s*[^)]*(?:\brules_\b|\bspecs_\b|(?:\.|->)specs\b)"
+)
+LINEAR_SCAN_ALLOWED = {"src/mig/capture.cpp", "src/mig/translation.cpp"}
 
 # serializer-symmetry: function definitions taking a BinaryWriter&/BinaryReader&
 # whose name marks them as one half of a wire-format pair.
@@ -268,6 +286,17 @@ def lint_file(
                     "adjacent span begin/end — keep the trace timeline and "
                     "the phase enum in lockstep (see src/obs/span.hpp)"
                 )
+
+    # --- no-linear-filter-scan --- (joined text: the for header can wrap)
+    if rel not in LINEAR_SCAN_ALLOWED:
+        for m in RE_LINEAR_FILTER_SCAN.finditer(text):
+            problems.append(
+                f"{rel}:{line_of(m.start())}: [no-linear-filter-scan] "
+                "range-for over a packet-filter container — per-packet "
+                "matching must go through the tuple-hash indexes "
+                "(DESIGN.md §12); scans live only in src/mig/capture.cpp "
+                "and src/mig/translation.cpp"
+            )
 
     # --- serializer-symmetry ---
     serial_fns: dict[str, dict[str, tuple[list[tuple[str, int]], int]]] = {}
